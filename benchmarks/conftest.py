@@ -1,0 +1,41 @@
+"""Shared settings for the figure-regeneration benchmarks.
+
+Every benchmark runs the corresponding experiment harness once (rounds=1;
+the measured quantity of interest is the *simulated* execution time the
+harness reports, printed as the paper's rows/series), and asserts the
+paper's qualitative shape: who wins, by roughly what factor, and where
+the crossovers fall.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.ssb.harness import HarnessSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> HarnessSettings:
+    return HarnessSettings(physical_sf=0.01, block_tuples=256, segment_rows=2048)
+
+
+def print_figure(title: str, seconds: dict, query_ids) -> None:
+    print(f"\n=== {title} ===")
+    systems = list(seconds)
+    print(f"{'query':8s}" + "".join(f"{s:>17s}" for s in systems))
+    for qid in query_ids:
+        row = f"{qid:8s}"
+        for system in systems:
+            value = seconds[system][qid]
+            if value != value:  # NaN
+                row += f"{'unsupported':>17s}"
+            elif value == float('inf'):
+                row += f"{'failed (OOM)':>17s}"
+            else:
+                row += f"{value:17.3f}"
+        print(row)

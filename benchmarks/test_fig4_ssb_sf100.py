@@ -1,0 +1,80 @@
+"""Figure 4: SSB SF100 with GPU-fitting working sets.
+
+Paper series: execution time of the 13 SSB queries for DBMS C, Proteus
+CPUs, Proteus GPUs, DBMS G, with data resident in GPU memory for the GPU
+systems.  Headline claims asserted below:
+
+* Proteus GPU is the fastest system on every query;
+* Proteus CPU is comparable-or-better than DBMS C everywhere (the paper
+  reports up to 2x on selective flight-3 queries);
+* Proteus GPU beats DBMS G by ~3x on the single-join flight 1 and by up
+  to ~10x overall ("2x and 10.8x versus CPU- and GPU-based alternatives");
+* DBMS G cannot run Q2.2 (string inequality);
+* DBMS G degrades toward DBMS C on multi-join queries ("its performance
+  resembles that of DBMS C").
+"""
+
+import math
+
+import pytest
+
+from conftest import print_figure
+from repro.ssb.harness import run_fig4
+from repro.ssb.queries import SSB_QUERY_IDS
+
+
+@pytest.fixture(scope="module")
+def fig4(settings):
+    return run_fig4(settings)
+
+
+def test_fig4_regenerate(benchmark, settings):
+    result = benchmark.pedantic(run_fig4, args=(settings,),
+                                kwargs={"queries": ["Q1.1"]},
+                                rounds=1, iterations=1)
+    assert result.seconds["Proteus GPUs"]["Q1.1"] > 0
+
+
+def test_fig4_table(fig4):
+    print_figure("Figure 4 - SSB SF100, GPU-fitting working sets",
+                 fig4.seconds, SSB_QUERY_IDS)
+
+
+def test_proteus_gpu_wins_every_query(fig4):
+    for qid in SSB_QUERY_IDS:
+        gpu = fig4.seconds["Proteus GPUs"][qid]
+        for system in ("DBMS C", "Proteus CPUs", "DBMS G"):
+            other = fig4.seconds[system][qid]
+            if math.isnan(other):
+                continue
+            assert gpu < other, f"{qid}: Proteus GPUs {gpu} !< {system} {other}"
+
+
+def test_proteus_cpu_vs_dbms_c(fig4):
+    for qid in SSB_QUERY_IDS:
+        assert fig4.seconds["Proteus CPUs"][qid] <= fig4.seconds["DBMS C"][qid] * 1.05
+    best = max(fig4.speedup("Proteus CPUs", "DBMS C", qid) for qid in SSB_QUERY_IDS)
+    assert 1.3 <= best <= 4.0, f"best CPU speedup {best} (paper: up to 2x)"
+
+
+def test_proteus_gpu_vs_dbms_g(fig4):
+    flight1 = [fig4.speedup("Proteus GPUs", "DBMS G", q)
+               for q in ("Q1.1", "Q1.2", "Q1.3")]
+    assert all(2.0 <= s <= 6.0 for s in flight1), (
+        f"flight-1 speedups {flight1} (paper ~3x)")
+    best = max(fig4.speedup("Proteus GPUs", "DBMS G", q)
+               for q in SSB_QUERY_IDS if q != "Q2.2")
+    assert best >= 7.0, f"best GPU speedup {best} (paper: up to 10.8x)"
+
+
+def test_dbms_g_q22_unsupported(fig4):
+    assert math.isnan(fig4.seconds["DBMS G"]["Q2.2"])
+
+
+def test_dbms_g_resembles_dbms_c_on_multi_join(fig4):
+    for qid in ("Q2.1", "Q2.3", "Q3.1", "Q3.2"):
+        ratio = fig4.seconds["DBMS G"][qid] / fig4.seconds["DBMS C"][qid]
+        assert 0.5 <= ratio <= 2.0, f"{qid}: DBMS G / DBMS C = {ratio}"
+    # flight 4 is DBMS G's worst case (paper: clearly slower than DBMS C)
+    for qid in ("Q4.1", "Q4.2", "Q4.3"):
+        assert fig4.seconds["DBMS G"][qid] > fig4.seconds["DBMS C"][qid]

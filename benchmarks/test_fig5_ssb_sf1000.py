@@ -1,0 +1,105 @@
+"""Figure 5: SSB SF1000 — working sets exceed aggregate GPU memory.
+
+Paper series: 13 SSB queries for DBMS C, Proteus CPUs, Proteus Hybrid,
+Proteus GPUs, DBMS G, all data starting in CPU memory.  Claims asserted:
+
+* GPU executions are PCIe-bound (~21 GB/s of the ~24 GB/s aggregate);
+* CPU systems beat the GPU ones exactly where they exceed the PCIe rate:
+  Q1.1-Q1.3 and Q3.4;
+* Proteus Hybrid wins every query (1.5-5.1x vs DBMS C, 3.4-11.4x vs
+  DBMS G) and averages ~88.5 % of the summed CPU+GPU throughputs;
+* DBMS G: pageable transfers < half bandwidth on flight 1, Q2.2 reverts
+  to CPU and takes "more than 1 hour", Q4.3 fails on device memory.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_figure
+from repro.ssb.harness import run_fig5
+from repro.ssb.queries import SSB_QUERY_IDS
+
+
+@pytest.fixture(scope="module")
+def fig5(settings):
+    return run_fig5(settings)
+
+
+def test_fig5_regenerate(benchmark, settings):
+    result = benchmark.pedantic(run_fig5, args=(settings,),
+                                kwargs={"queries": ["Q1.1"]},
+                                rounds=1, iterations=1)
+    assert result.seconds["Proteus Hybrid"]["Q1.1"] > 0
+
+
+def test_fig5_table(fig5):
+    print_figure("Figure 5 - SSB SF1000, CPU-resident working sets",
+                 fig5.seconds, SSB_QUERY_IDS)
+    for key, note in sorted(fig5.notes.items()):
+        print(f"  note: {key}: {note}")
+
+
+def test_gpu_is_pcie_bound(fig5):
+    for qid in SSB_QUERY_IDS:
+        throughput = fig5.working_set[qid] / fig5.seconds["Proteus GPUs"][qid]
+        assert 16e9 <= throughput <= 24.5e9, (
+            f"{qid}: Proteus GPU at {throughput/1e9:.1f} GB/s "
+            f"(paper: ~21 GB/s, bounded by ~24)")
+
+
+def test_cpu_beats_gpu_only_on_flight1_and_q34(fig5):
+    cpu_wins = {
+        qid for qid in SSB_QUERY_IDS
+        if fig5.seconds["Proteus CPUs"][qid] < fig5.seconds["Proteus GPUs"][qid]
+    }
+    assert {"Q1.1", "Q1.2", "Q1.3", "Q3.4"} <= cpu_wins
+    assert not cpu_wins - {"Q1.1", "Q1.2", "Q1.3", "Q3.4"}, (
+        f"unexpected CPU wins: {cpu_wins}")
+
+
+def test_hybrid_wins_everywhere(fig5):
+    for qid in SSB_QUERY_IDS:
+        hybrid = fig5.seconds["Proteus Hybrid"][qid]
+        for system in ("DBMS C", "Proteus CPUs", "Proteus GPUs", "DBMS G"):
+            other = fig5.seconds[system][qid]
+            if math.isnan(other) or math.isinf(other):
+                continue
+            assert hybrid < other, f"{qid}: hybrid {hybrid} !< {system} {other}"
+
+
+def test_hybrid_speedup_bands(fig5):
+    vs_c = [fig5.speedup("Proteus Hybrid", "DBMS C", q) for q in SSB_QUERY_IDS]
+    assert 1.5 <= min(vs_c), f"min speedup vs DBMS C {min(vs_c)} (paper 1.5x)"
+    assert max(vs_c) <= 8.0, f"max speedup vs DBMS C {max(vs_c)} (paper 5.1x)"
+    vs_g = [fig5.speedup("Proteus Hybrid", "DBMS G", q)
+            for q in SSB_QUERY_IDS
+            if not math.isinf(fig5.seconds["DBMS G"][q])
+            and fig5.seconds["DBMS G"][q] < 100]
+    assert min(vs_g) >= 3.0, f"min vs DBMS G {min(vs_g)} (paper 3.4x)"
+
+
+def test_hybrid_throughput_efficiency(fig5):
+    """Hybrid throughput ~ sum of CPU-only and GPU-only throughputs."""
+    ratios = []
+    for qid in SSB_QUERY_IDS:
+        ws = fig5.working_set[qid]
+        hybrid = ws / fig5.seconds["Proteus Hybrid"][qid]
+        summed = (ws / fig5.seconds["Proteus CPUs"][qid]
+                  + ws / fig5.seconds["Proteus GPUs"][qid])
+        ratios.append(hybrid / summed)
+    average = sum(ratios) / len(ratios)
+    assert 0.7 <= average <= 1.05, (
+        f"hybrid efficiency {average:.2f} (paper: 0.885)")
+
+
+def test_dbms_g_out_of_core_behaviours(fig5):
+    # flight 1: pageable copies, less than half the pinned bandwidth
+    for qid in ("Q1.1", "Q1.2", "Q1.3"):
+        throughput = fig5.working_set[qid] / fig5.seconds["DBMS G"][qid]
+        assert throughput < 12e9, f"{qid}: DBMS G at {throughput/1e9:.1f} GB/s"
+    # Q2.2 reverts to CPU-only execution, "more than 1 hour"
+    assert fig5.seconds["DBMS G"]["Q2.2"] > 1000
+    # Q4.3 fails: cardinality estimation exceeds device memory
+    assert math.isinf(fig5.seconds["DBMS G"]["Q4.3"])
+    assert "DBMS G Q4.3" in fig5.notes

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable even without `pip install -e .`
+
+(the sandbox used for CI has no `wheel` package, so PEP 660 editable
+installs are unavailable; a `.pth` file or this shim serves the same
+purpose).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

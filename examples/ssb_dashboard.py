@@ -1,0 +1,56 @@
+"""Star Schema Benchmark across engines — a miniature Figure 4/5.
+
+Generates SSB data, replays it at SF100 and SF1000 through four engines
+(Proteus CPU / GPU / Hybrid and the two commercial-system proxies), and
+prints the execution-time matrix for a few representative queries.
+
+Run:  python examples/ssb_dashboard.py
+"""
+
+import math
+
+from repro.ssb.harness import HarnessSettings, run_fig4, run_fig5
+
+QUERIES = ["Q1.1", "Q2.2", "Q3.4", "Q4.3"]
+
+
+def _cell(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "unsupported"
+    if value == float("inf"):
+        return "failed (OOM)"
+    if value > 100:
+        return f"{value/3600:.1f} h"
+    return f"{value:.2f} s"
+
+
+def _print(title: str, result) -> None:
+    systems = list(result.seconds)
+    print(f"\n== {title} ==")
+    print(f"{'query':8s}" + "".join(f"{s:>16s}" for s in systems))
+    for qid in QUERIES:
+        print(f"{qid:8s}" + "".join(
+            f"{_cell(result.seconds[s][qid]):>16s}" for s in systems))
+    for key, note in sorted(result.notes.items()):
+        if key != "logical_sf":
+            print(f"   note: {key}: {note}")
+
+
+def main() -> None:
+    settings = HarnessSettings(physical_sf=0.01, block_tuples=256,
+                               segment_rows=2048)
+    fig4 = run_fig4(settings, queries=QUERIES)
+    _print("SF100 - GPU-fitting working sets (paper Figure 4)", fig4)
+
+    fig5 = run_fig5(settings, queries=QUERIES)
+    _print("SF1000 - CPU-resident working sets (paper Figure 5)", fig5)
+
+    print("\nObservations to compare with the paper:")
+    print(" * SF100: Proteus GPUs wins everywhere; DBMS G cannot run Q2.2.")
+    print(" * SF1000: GPUs are PCIe-bound; CPUs win Q1.x and Q3.4;")
+    print("   Proteus Hybrid wins everything; DBMS G fails Q4.3 and its")
+    print("   Q2.2 falls back to an hours-long CPU run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""HetExchange reproduction — heterogeneous CPU-GPU parallelism in a JIT
+compiled analytical engine (Chrysogelos et al., VLDB 2019).
+
+Public API quick tour::
+
+    from repro import Proteus, ExecutionConfig, scan, col, agg_sum
+
+    engine = Proteus()                     # the paper's 2-socket, 2-GPU box
+    engine.register(table)                 # columnar data, NUMA-placed
+    q = (scan("t", ["a", "b"])
+         .filter(col("b") > 42)
+         .reduce([agg_sum(col("a"), "total")]))
+    r = engine.query(q, ExecutionConfig.hybrid(24, [0, 1]))
+    r.value("total"), r.seconds           # real result, simulated time
+
+Packages:
+
+* :mod:`repro.core` — the HetExchange operators (router, cpu2gpu/gpu2cpu,
+  mem-move, pack/unpack, segmenter);
+* :mod:`repro.jit` — device providers + produce/consume code generation;
+* :mod:`repro.hardware` — the calibrated simulated server (DES kernel,
+  topology, cost model);
+* :mod:`repro.algebra` — expressions, logical plans, heterogeneity-aware
+  placement;
+* :mod:`repro.storage`, :mod:`repro.memory` — columnar storage and the
+  block/state memory managers;
+* :mod:`repro.engine` — the executor and the :class:`Proteus` facade;
+* :mod:`repro.baselines` — the DBMS C / DBMS G proxies;
+* :mod:`repro.ssb` — the Star Schema Benchmark generator and queries.
+"""
+
+from .algebra.expressions import col, lit
+from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, scan
+from .engine.config import ExecutionConfig
+from .engine.proteus import Proteus
+from .engine.results import QueryResult
+from .hardware.specs import PAPER_SERVER, ServerSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Proteus",
+    "ExecutionConfig",
+    "QueryResult",
+    "ServerSpec",
+    "PAPER_SERVER",
+    "scan",
+    "col",
+    "lit",
+    "agg_sum",
+    "agg_count",
+    "agg_min",
+    "agg_max",
+    "OrderSpec",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""The four physical traits of heterogeneous execution (paper Section 3.3).
+
+"Query execution on heterogeneous hardware has four fundamental traits:
+target device, degree of parallelism, data locality and data packing.  Each
+of the four operators of the HetExchange framework changes one of these
+traits on its output, without modifying its input."
+
+* device-crossing operators convert the **device** trait;
+* the router converts the **degree of parallelism** trait;
+* mem-move converts the **locality** trait;
+* pack/unpack convert the **packing** trait.
+
+Relational operators require their input to be *local* and *unpacked*.
+:func:`validate_stage_graph` (in :mod:`repro.algebra.physical`) enforces
+these invariants on every heterogeneity-aware plan the placer produces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..hardware.topology import DeviceType
+
+__all__ = ["Packing", "Locality", "Traits", "DeviceType"]
+
+
+class Packing(enum.Enum):
+    """Whether data flows as blocks (packed) or as a tuple stream."""
+
+    PACKED = "packed"
+    UNPACKED = "unpacked"
+
+
+class Locality(enum.Enum):
+    """Whether a consumer's input is resident in its local memory."""
+
+    LOCAL = "local"
+    REMOTE = "remote"  # may reside on any node; a mem-move is required
+
+
+@dataclass(frozen=True)
+class Traits:
+    """The trait vector carried on stage boundaries."""
+
+    device: DeviceType
+    dop: int
+    locality: Locality
+    packing: Packing
+
+    def with_device(self, device: DeviceType) -> "Traits":
+        return Traits(device, self.dop, self.locality, self.packing)
+
+    def with_dop(self, dop: int) -> "Traits":
+        return Traits(self.device, dop, self.locality, self.packing)
+
+    def with_locality(self, locality: Locality) -> "Traits":
+        return Traits(self.device, self.dop, locality, self.packing)
+
+    def with_packing(self, packing: Packing) -> "Traits":
+        return Traits(self.device, self.dop, self.locality, packing)

@@ -1,0 +1,15 @@
+"""Proxies of the paper's anonymised commercial comparison systems."""
+
+from .common import StarJoin, StarShape, UnsupportedQueryError, decompose_star
+from .gpu_operator import DBMSG, GpuMemoryError
+from .vectorized_cpu import DBMSC
+
+__all__ = [
+    "DBMSC",
+    "DBMSG",
+    "GpuMemoryError",
+    "UnsupportedQueryError",
+    "StarShape",
+    "StarJoin",
+    "decompose_star",
+]

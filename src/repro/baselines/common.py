@@ -1,0 +1,192 @@
+"""Shared scaffolding for the commercial-baseline proxies.
+
+The paper anonymises its comparison systems as DBMS C (a columnar SIMD
+vector-at-a-time CPU engine "similar to MonetDB/X100") and DBMS G (a JIT
+GPU engine with a star-join-specific execution strategy).  Sections 6.1
+and 6.2 characterise both precisely enough to rebuild behavioural
+proxies; this module holds what they share:
+
+* plan introspection (star-shape decomposition reused by both);
+* result shaping (ordering, string decoding);
+* :class:`UnsupportedQueryError` for the capability gaps the paper
+  reports (DBMS G cannot evaluate string inequalities — it fails Q2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..algebra.expressions import (
+    Arithmetic,
+    Between,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+)
+from ..algebra.logical import (
+    AggSpec,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalReduce,
+    LogicalScan,
+    Plan,
+)
+
+__all__ = [
+    "UnsupportedQueryError",
+    "StarShape",
+    "StarJoin",
+    "decompose_star",
+    "has_string_inequality",
+    "shape_rows",
+]
+
+
+class UnsupportedQueryError(RuntimeError):
+    """The baseline engine cannot execute this query (capability gap)."""
+
+
+@dataclass
+class StarJoin:
+    """One fact->dimension equijoin in a star plan."""
+
+    probe_key: str
+    build_key: str
+    payload: list[str]
+    build: LogicalNode  # scan/filter/project chain over the dimension
+
+
+@dataclass
+class StarShape:
+    """A star query: fact scan + filters, joins, aggregation."""
+
+    fact: LogicalScan
+    fact_ops: list[LogicalNode]  # filters/projects over the fact, in order
+    joins: list[StarJoin]
+    group_keys: list[str]
+    aggs: list[AggSpec]
+    scalar: bool
+
+
+def decompose_star(plan: Plan) -> StarShape:
+    """Decompose a plan into star shape; raises for non-star plans."""
+    node = plan.root
+    keys: list[str] = []
+    aggs: list[AggSpec] = []
+    scalar = False
+    if isinstance(node, LogicalReduce):
+        aggs = list(node.aggs)
+        scalar = True
+        node = node.child
+    elif isinstance(node, LogicalGroupBy):
+        keys = list(node.keys)
+        aggs = list(node.aggs)
+        node = node.child
+    joins: list[StarJoin] = []
+    fact_ops: list[LogicalNode] = []
+    while not isinstance(node, LogicalScan):
+        if isinstance(node, LogicalJoin):
+            joins.append(
+                StarJoin(node.probe_key, node.build_key, list(node.payload),
+                         node.build)
+            )
+            node = node.probe
+        elif isinstance(node, (LogicalFilter, LogicalProject)):
+            fact_ops.append(node)
+            node = node.child
+        else:
+            raise UnsupportedQueryError(
+                f"baseline engines only run star plans; found "
+                f"{type(node).__name__}"
+            )
+    joins.reverse()
+    fact_ops.reverse()
+    return StarShape(fact=node, fact_ops=fact_ops, joins=joins,
+                     group_keys=keys, aggs=aggs, scalar=scalar)
+
+
+def has_string_inequality(expr: Expression, is_string_column: Callable[[str], bool]) -> bool:
+    """Detect range/inequality predicates over string columns.
+
+    This is the feature gap behind DBMS G's Q2.2 failure ("DBMS G fails to
+    execute Q2.2's string inequalities").  Must run on the *unbound*
+    expression (binding rewrites strings into integer codes).
+    """
+    if isinstance(expr, Comparison):
+        inequality = expr.op in ("<", "<=", ">", ">=")
+        sides = [expr.left, expr.right]
+        for a, b in (sides, sides[::-1]):
+            if (
+                inequality
+                and isinstance(a, ColumnRef)
+                and is_string_column(a.name)
+                and isinstance(b, Literal)
+                and isinstance(b.value, str)
+            ):
+                return True
+        return any(has_string_inequality(s, is_string_column) for s in sides)
+    if isinstance(expr, Between):
+        if (
+            isinstance(expr.operand, ColumnRef)
+            and is_string_column(expr.operand.name)
+            and isinstance(expr.low, Literal)
+            and isinstance(expr.low.value, str)
+        ):
+            return True
+        return any(
+            has_string_inequality(e, is_string_column)
+            for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, BooleanOp):
+        return has_string_inequality(expr.left, is_string_column) or \
+            has_string_inequality(expr.right, is_string_column)
+    if isinstance(expr, Not):
+        return has_string_inequality(expr.operand, is_string_column)
+    if isinstance(expr, Arithmetic):
+        return has_string_inequality(expr.left, is_string_column) or \
+            has_string_inequality(expr.right, is_string_column)
+    if isinstance(expr, InList):
+        return has_string_inequality(expr.operand, is_string_column)
+    return False
+
+
+def plan_has_string_inequality(plan: Plan, is_string_column) -> bool:
+    """Walk every predicate/projection of a plan for string inequalities."""
+    found = False
+
+    def walk(node: LogicalNode) -> None:
+        nonlocal found
+        if isinstance(node, LogicalFilter):
+            found = found or has_string_inequality(node.predicate, is_string_column)
+        if isinstance(node, LogicalProject):
+            for _, expr in node.exprs:
+                found = found or has_string_inequality(expr, is_string_column)
+        for child in node.inputs:
+            walk(child)
+
+    walk(plan.root)
+    return found
+
+
+def shape_rows(
+    rows: list[tuple],
+    columns: list[str],
+    plan: Plan,
+) -> list[tuple]:
+    """Apply the plan's order-by/limit to decoded rows."""
+    for order in reversed(plan.order):
+        index = columns.index(order.name)
+        rows = sorted(rows, key=lambda r: r[index], reverse=not order.ascending)
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    return rows

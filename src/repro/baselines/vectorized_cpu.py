@@ -1,0 +1,347 @@
+"""DBMS C proxy: a columnar, SIMD, vector-at-a-time CPU engine.
+
+"DBMS C is a columnar database that uses SIMD vector-at-a-time execution,
+similar to MonetDB/X100, and supports multi-CPU execution."
+
+The behavioural traits the paper relies on, reproduced here:
+
+* **vector-at-a-time with materialisation** — each operator consumes and
+  produces full vectors: selection produces a bitmap + compacted vectors,
+  joins materialise gathered payload vectors.  Every intermediate is
+  written to and re-read from memory, so the engine streams substantially
+  more bytes than a register-pipelined JIT engine ("the operators of
+  DBMS C have to either materialize a result vector or a bitmap vector,
+  whereas Proteus CPU attempts to operate as much as possible over
+  CPU-register-based values") — this is why Proteus CPU wins Q3.1/Q3.2
+  and why the gap closes on very selective queries (Q3.3/Q3.4);
+* **interpreted operator dispatch** per vector (cheap, amortised; the
+  dispatch overhead knob in the tuning);
+* **multi-core morsel parallelism** over CPU-resident columnar data; no
+  GPU support.
+
+Execution runs on the same simulated server and cost model as Proteus,
+with :data:`~repro.hardware.costmodel.DBMS_C_TUNING`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..algebra.expressions import bind_strings
+from ..algebra.logical import LogicalFilter, LogicalProject, Plan
+from ..algebra.physical import CollectSpec
+from ..engine.collect import collect_result
+from ..engine.results import ExecutionProfile, QueryResult
+from ..hardware.costmodel import CYCLES, DBMS_C_TUNING, BlockStats, CostModel
+from ..hardware.sim import Simulator, Store
+from ..hardware.specs import ServerSpec
+from ..hardware.topology import Server
+from ..jit.hashtable import HashTable
+from ..storage.catalog import Catalog
+from ..storage.table import Placement, Table
+from .common import StarShape, UnsupportedQueryError, decompose_star
+
+__all__ = ["DBMSC"]
+
+#: tuples per vector (a few KB per column: the X100 sweet spot)
+VECTOR_TUPLES = 4096
+
+
+class DBMSC:
+    """The paper's CPU-based commercial comparison system."""
+
+    name = "DBMS C"
+
+    def __init__(self, spec: Optional[ServerSpec] = None,
+                 segment_rows: int = 1 << 20):
+        self.sim = Simulator()
+        self.server = Server(self.sim, spec or ServerSpec())
+        self.catalog = Catalog(self.server, segment_rows=segment_rows)
+        self.cost = CostModel(self.server.spec, DBMS_C_TUNING)
+
+    # -- data ------------------------------------------------------------------
+
+    def register(self, table: Table, placement: Optional[Placement] = None) -> None:
+        self.catalog.register(table, placement)
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, plan: Plan, workers: int = 24,
+              vector_tuples: int = VECTOR_TUPLES) -> QueryResult:
+        if workers < 1 or workers > len(self.server.cores):
+            raise ValueError(
+                f"workers must be 1..{len(self.server.cores)}, got {workers}"
+            )
+        star = decompose_star(plan)
+        start = self.sim.now
+        profile = ExecutionProfile()
+        tables = self._build_dimensions(star, profile)
+        partials = self._scan_fact(star, tables, workers, vector_tuples, profile)
+        profile.seconds = self.sim.now - start
+        spec = CollectSpec(
+            keys=star.group_keys, aggs=star.aggs, order=list(plan.order),
+            limit=plan.limit, scalar=star.scalar,
+        )
+        return collect_result(
+            spec,
+            [p for p in partials if not star.group_keys] if star.scalar else [],
+            [p for p in partials] if star.group_keys else [],
+            [],
+            profile,
+            self._dictionary_of,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _dictionary_of(self, column: str):
+        for table in self.catalog.tables.values():
+            if column in table.columns:
+                return table.columns[column].dictionary
+        return None
+
+    def _bind(self, expr):
+        return bind_strings(expr, self._dictionary_of)
+
+    def _chain_env(self, node, env: dict[str, np.ndarray],
+                   stats: BlockStats) -> dict[str, np.ndarray]:
+        """Interpret a filter/project chain vector-at-a-time.
+
+        Every step materialises its outputs (bitmap + compacted vectors),
+        charged as extra streamed bytes.
+        """
+        if isinstance(node, LogicalFilter):
+            predicate = self._bind(node.predicate)
+            mask = predicate.evaluate(env)
+            n = len(next(iter(env.values()))) if env else 0
+            if isinstance(mask, (bool, np.bool_)):
+                mask = np.full(n, bool(mask))
+            counts = predicate.op_counts()
+            stats.cpu_cycles += n * (
+                counts.predicates * CYCLES.filter_per_predicate
+                + counts.arithmetic * CYCLES.arithmetic_per_op
+            )
+            stats.bytes_out += n // 8  # the bitmap vector
+            out = {name: values[mask] for name, values in env.items()}
+            kept = len(next(iter(out.values()))) if out else 0
+            width = sum(v.dtype.itemsize for v in env.values())
+            stats.bytes_out += kept * width      # compacted vectors written
+            stats.bytes_in += kept * width       # ... and read back
+            stats.cpu_cycles += kept * CYCLES.pack_per_tuple
+            return out
+        if isinstance(node, LogicalProject):
+            n = len(next(iter(env.values()))) if env else 0
+            for alias, expr in node.exprs:
+                bound = self._bind(expr)
+                env[alias] = np.asarray(bound.evaluate(env))
+                counts = bound.op_counts()
+                stats.cpu_cycles += n * (
+                    counts.arithmetic * CYCLES.arithmetic_per_op
+                    + counts.predicates * CYCLES.filter_per_predicate
+                )
+                stats.bytes_out += n * 8
+                stats.bytes_in += n * 8
+            return env
+        raise UnsupportedQueryError(
+            f"DBMS C cannot interpret {type(node).__name__} mid-chain"
+        )
+
+    # -- build phase ---------------------------------------------------------------
+
+    def _ht_spilled(self, ht: HashTable, scale: float) -> bool:
+        """Same cache model as the JIT engines: cache-resident hash
+        tables probe for free (no DRAM random traffic)."""
+        return ht.nbytes * scale > self.server.spec.cpu_llc_bytes
+
+    def _build_dimensions(self, star: StarShape,
+                          profile: ExecutionProfile) -> dict[str, HashTable]:
+        """Build one shared hash table per dimension (single-threaded).
+
+        Dimension tables are small; the paper's systems all treat the
+        build phase as negligible next to the fact scan.
+        """
+        tables: dict[str, HashTable] = {}
+
+        def build_proc():
+            for index, join in enumerate(star.joins):
+                node = join.build
+                chain = []
+                while not hasattr(node, "table"):
+                    chain.append(node)
+                    node = node.child
+                table = self.catalog.table(node.table)
+                env = {name: table.column(name).values for name in node.columns}
+                stats = BlockStats()
+                stats.tuples_in = table.num_rows
+                stats.bytes_in = sum(env[c].nbytes for c in node.columns)
+                for op in reversed(chain):
+                    env = self._chain_env(op, env, stats)
+                keys = np.asarray(env[join.build_key], dtype=np.int64)
+                # size from the pre-filter cardinality estimate, like the
+                # JIT engines (affects cache residency, not correctness)
+                ht = HashTable(max(table.num_rows, 16), list(join.payload))
+                ht.insert(keys, {p: env[p] for p in join.payload})
+                stats.random_accesses += len(keys)
+                stats.random_bytes += len(keys) * 16
+                stats.cpu_cycles += len(keys) * (
+                    CYCLES.hash_compute + CYCLES.hash_build_insert
+                )
+                tables[f"ht{index}"] = ht
+                scale = self.catalog.logical_scale(node.table)
+                req = self.cost.cpu_block_work(stats, scale)
+                job = self.server.dram_node(0).bandwidth.submit(
+                    req.work_bytes, rate_cap=req.rate_cap, label="dbmsc-build"
+                )
+                yield job
+
+        self.sim.run_process(build_proc(), name="dbmsc-build")
+        return tables
+
+    # -- probe phase ----------------------------------------------------------------
+
+    def _scan_fact(self, star: StarShape, tables: dict[str, HashTable],
+                   workers: int, vector_tuples: int,
+                   profile: ExecutionProfile) -> list:
+        fact = self.catalog.table(star.fact.table)
+        placement = self.catalog.placement(star.fact.table)
+        scale = self.catalog.logical_scale(star.fact.table)
+        spilled = {}
+        for index, join in enumerate(star.joins):
+            node = join.build
+            while not hasattr(node, "table"):
+                node = node.child
+            dim_scale = self.catalog.logical_scale(node.table)
+            spilled[f"ht{index}"] = self._ht_spilled(tables[f"ht{index}"], dim_scale)
+        morsels = self.sim.store(name="dbmsc-morsels")
+        for segment in placement.segments:
+            for begin in range(segment.row_start, segment.row_stop, vector_tuples):
+                stop = min(begin + vector_tuples, segment.row_stop)
+                morsels.put((begin, stop, segment.node_id))
+        morsels.close()
+
+        agg_kinds = {a.alias: a.kind for a in star.aggs}
+        bound_aggs = [(a.alias, a.kind, self._bind(a.expr)) for a in star.aggs]
+        columns = list(star.fact.columns)
+        worker_partials: list = []
+
+        def worker(core_id: int):
+            from ..jit.pipeline import agg_identity
+
+            groups: dict[tuple, dict] = {}
+            scalars = {a.alias: agg_identity(a.kind) for a in star.aggs}
+            home = self.server.cores[core_id].socket_id
+            while True:
+                got = morsels.get()
+                yield got
+                item = got.value
+                if item is Store.END:
+                    break
+                begin, stop, node_id = item
+                stats = BlockStats()
+                env = {c: fact.column(c).slice(begin, stop) for c in columns}
+                n = stop - begin
+                stats.tuples_in = n
+                stats.bytes_in = sum(env[c].nbytes for c in columns)
+                for op in star.fact_ops:
+                    env = self._chain_env(op, env, stats)
+                for index, join in enumerate(star.joins):
+                    ht = tables[f"ht{index}"]
+                    keys = np.asarray(env[join.probe_key], dtype=np.int64)
+                    idx = ht.probe(keys)
+                    hits = idx >= 0
+                    if spilled[f"ht{index}"]:
+                        stats.random_accesses += len(keys)
+                        stats.random_bytes += len(keys) * (
+                            16 + 8 * len(join.payload)
+                        )
+                    stats.cpu_cycles += len(keys) * (
+                        CYCLES.hash_compute + CYCLES.hash_probe
+                    )
+                    env = {name: values[hits] for name, values in env.items()}
+                    rows = idx[hits]
+                    for p in join.payload:
+                        env[p] = ht.payload[p][rows]
+                    kept = int(hits.sum())
+                    width = sum(v.dtype.itemsize for v in env.values())
+                    # the join materialises the full output vector
+                    stats.bytes_out += kept * width
+                    stats.bytes_in += kept * width
+                kept = len(next(iter(env.values()))) if env else 0
+                self._aggregate(star, bound_aggs, env, kept, groups, scalars, stats)
+                req = self.cost.cpu_block_work(stats, scale)
+                node = self.server.memory_nodes.get(node_id)
+                if node is None or node.kind.value != "cpu":
+                    node = self.server.dram_node(home)
+                job = node.bandwidth.submit(req.work_bytes, rate_cap=req.rate_cap,
+                                            label=f"dbmsc-w{core_id}")
+                yield job
+                agg = profile.device_stats.setdefault("cpu", BlockStats())
+                agg.merge(stats)
+            if star.group_keys:
+                worker_partials.append(groups)
+            else:
+                worker_partials.append(scalars)
+
+        procs = [
+            self.sim.process(worker(core.core_id), name=f"dbmsc-{core.core_id}")
+            for core in self.server.cores[:workers]
+        ]
+        self.sim.run()
+        for proc in procs:
+            if not proc.ok:
+                raise proc.value
+        return worker_partials
+
+    def _aggregate(self, star, bound_aggs, env, n, groups, scalars, stats):
+        if n == 0:
+            return
+        if star.group_keys:
+            key_matrix = np.stack(
+                [np.asarray(env[k], dtype=np.int64) for k in star.group_keys], axis=1
+            )
+            uniq, inv = np.unique(key_matrix, axis=0, return_inverse=True)
+            for alias, kind, expr in bound_aggs:
+                if kind == "count":
+                    agg = np.bincount(inv, minlength=len(uniq))
+                else:
+                    values = np.asarray(expr.evaluate(env), dtype=np.float64)
+                    agg = np.zeros(len(uniq))
+                    if kind == "sum":
+                        np.add.at(agg, inv, values)
+                    elif kind == "min":
+                        agg.fill(np.inf)
+                        np.minimum.at(agg, inv, values)
+                    else:
+                        agg.fill(-np.inf)
+                        np.maximum.at(agg, inv, values)
+                for i, key_row in enumerate(uniq):
+                    key = tuple(int(k) for k in key_row)
+                    row = groups.setdefault(key, {})
+                    if kind in ("sum", "count"):
+                        row[alias] = row.get(alias, 0) + (
+                            int(agg[i]) if kind == "count" else float(agg[i])
+                        )
+                    elif kind == "min":
+                        row[alias] = min(row.get(alias, np.inf), float(agg[i]))
+                    else:
+                        row[alias] = max(row.get(alias, -np.inf), float(agg[i]))
+            if len(groups) > 4096:
+                stats.random_accesses += n
+                stats.random_bytes += n * 8 * (len(star.group_keys) + len(bound_aggs))
+            stats.cpu_cycles += n * (CYCLES.hash_compute + CYCLES.group_lookup)
+        else:
+            for alias, kind, expr in bound_aggs:
+                if kind == "count":
+                    scalars[alias] += n
+                else:
+                    values = np.asarray(expr.evaluate(env), dtype=np.float64)
+                    if kind == "sum":
+                        scalars[alias] += float(values.sum())
+                    elif kind == "min":
+                        scalars[alias] = min(scalars.get(alias, np.inf),
+                                             float(values.min()))
+                    else:
+                        scalars[alias] = max(scalars.get(alias, -np.inf),
+                                             float(values.max()))
+            stats.cpu_cycles += n * CYCLES.aggregate_update

@@ -1,0 +1,25 @@
+"""HetExchange operators — the paper's primary contribution.
+
+Control flow: :class:`Router` (parallelism), :class:`Cpu2Gpu` /
+:class:`Gpu2Cpu` (device crossing).
+Data flow: :class:`MemMove` (locality), :class:`Packer` /
+:class:`HashPacker` (packing), :class:`Segmenter` (leaf block source).
+"""
+
+from .device_crossing import Cpu2Gpu, Gpu2Cpu
+from .mem_move import MemMove
+from .pack import HashPacker, Packer
+from .router import ConsumerGroup, Router, RoutingError
+from .segmenter import Segmenter
+
+__all__ = [
+    "Router",
+    "ConsumerGroup",
+    "RoutingError",
+    "Cpu2Gpu",
+    "Gpu2Cpu",
+    "MemMove",
+    "Packer",
+    "HashPacker",
+    "Segmenter",
+]

@@ -1,0 +1,114 @@
+"""Pack / unpack / hash-pack: the packing-trait converters (Section 3.2).
+
+"HetExchange uses the pack operators to encapsulate the difference between
+block-at-a-time data movement and tuple-at-a-time execution."
+
+The *codegen* half of these operators lives in the JIT
+(:class:`repro.algebra.physical.OpPackSink` / ``OpUnpack`` /
+``OpHashPackSink`` are fused into generated pipelines); this module holds
+their runtime buffers:
+
+* :class:`Packer` — groups tuples into a block and flushes it to the next
+  operator whenever it fills up;
+* :class:`HashPacker` — maintains **one open block per hash value**, so
+  every flushed block is single-valued and a hash router can route on the
+  block handle without ever touching tuples (the hash-pack invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Packer", "HashPacker"]
+
+
+class Packer:
+    """Tuple stream -> fixed-size blocks (the pack operator's buffer)."""
+
+    def __init__(self, block_tuples: int):
+        if block_tuples <= 0:
+            raise ValueError("block_tuples must be positive")
+        self.block_tuples = block_tuples
+        self._parts: list[dict[str, np.ndarray]] = []
+        self._buffered = 0
+
+    def push(self, arrays: dict[str, np.ndarray]) -> list[dict[str, np.ndarray]]:
+        """Buffer a batch; return any blocks that filled up."""
+        if not arrays:
+            return []
+        lengths = {len(v) for v in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged batch pushed into packer: lengths {lengths}")
+        n = lengths.pop()
+        if n == 0:
+            return []
+        if self._parts and set(arrays) != set(self._parts[0]):
+            raise ValueError(
+                f"packer schema changed: had {sorted(self._parts[0])}, "
+                f"got {sorted(arrays)}"
+            )
+        self._parts.append(arrays)
+        self._buffered += n
+        if self._buffered < self.block_tuples:
+            return []
+        merged = {
+            name: np.concatenate([p[name] for p in self._parts])
+            for name in self._parts[0]
+        }
+        out = []
+        offset = 0
+        while self._buffered - offset >= self.block_tuples:
+            out.append(
+                {k: v[offset : offset + self.block_tuples] for k, v in merged.items()}
+            )
+            offset += self.block_tuples
+        if self._buffered - offset > 0:
+            self._parts = [{k: v[offset:] for k, v in merged.items()}]
+        else:
+            self._parts = []
+        self._buffered -= offset
+        return out
+
+    def flush(self) -> list[dict[str, np.ndarray]]:
+        """Emit the final partial block at end-of-stream."""
+        if self._buffered == 0:
+            return []
+        merged = {
+            name: np.concatenate([p[name] for p in self._parts])
+            for name in self._parts[0]
+        }
+        self._parts = []
+        self._buffered = 0
+        return [merged]
+
+    @property
+    def buffered(self) -> int:
+        return self._buffered
+
+
+class HashPacker:
+    """One open block per hash value — the hash-pack invariant."""
+
+    def __init__(self, partitions: int, block_tuples: int):
+        if partitions <= 0:
+            raise ValueError("partitions must be positive")
+        self.partitions = partitions
+        self.block_tuples = block_tuples
+        self._packers: dict[int, Packer] = {}
+
+    def push(
+        self, partition: int, arrays: dict[str, np.ndarray]
+    ) -> list[tuple[int, dict[str, np.ndarray]]]:
+        """Buffer a single-partition batch; return flushed (hash, block)s."""
+        if not 0 <= partition < self.partitions:
+            raise ValueError(
+                f"partition {partition} out of range 0..{self.partitions - 1}"
+            )
+        packer = self._packers.setdefault(partition, Packer(self.block_tuples))
+        return [(partition, block) for block in packer.push(arrays)]
+
+    def flush(self) -> list[tuple[int, dict[str, np.ndarray]]]:
+        out = []
+        for partition, packer in sorted(self._packers.items()):
+            out.extend((partition, block) for block in packer.flush())
+        return out

@@ -1,0 +1,16 @@
+"""Engine: execution configs, the executor, the Proteus facade, results."""
+
+from .config import ExecutionConfig
+from .executor import Executor, QueryError, RawExecution
+from .proteus import Proteus
+from .results import ExecutionProfile, QueryResult
+
+__all__ = [
+    "ExecutionConfig",
+    "Executor",
+    "QueryError",
+    "RawExecution",
+    "Proteus",
+    "ExecutionProfile",
+    "QueryResult",
+]

@@ -1,0 +1,104 @@
+"""Execution configurations: which compute units a query may use.
+
+Mirrors the paper's evaluated configurations:
+
+* ``ExecutionConfig.cpu_only(n)``   — Proteus CPUs (n worker threads);
+* ``ExecutionConfig.gpu_only([..])`` — Proteus GPUs;
+* ``ExecutionConfig.hybrid(n, [..])`` — Proteus Hybrid (CPUs + GPUs);
+* ``bare=True`` — Proteus *without* HetExchange (Figures 7 and 8): a single
+  sequential pipeline on one CPU core or one GPU, no routers, no mem-moves
+  (the GPU reads host memory through UVA, as in the paper's comparison
+  point [36]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..hardware.topology import DeviceType
+
+__all__ = ["ExecutionConfig"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Degrees of parallelism and device selection for one query run."""
+
+    cpu_workers: int = 0
+    gpu_ids: tuple[int, ...] = ()
+    #: run without HetExchange operators (single device, DOP=1)
+    bare: bool = False
+    #: tuples per staging block (the block granularity of data flow)
+    block_tuples: int = 1 << 20
+    #: interleave CPU workers across sockets (the paper's Figure 6 setup)
+    interleave_sockets: bool = True
+
+    def __post_init__(self):
+        if self.cpu_workers < 0:
+            raise ValueError("cpu_workers must be >= 0")
+        if self.cpu_workers == 0 and not self.gpu_ids:
+            raise ValueError("configuration selects no compute units")
+        if self.bare:
+            units = self.cpu_workers + len(self.gpu_ids)
+            if units != 1:
+                raise ValueError(
+                    "bare (non-HetExchange) mode supports exactly one compute "
+                    f"unit; got {self.cpu_workers} CPUs + {len(self.gpu_ids)} GPUs"
+                )
+        if self.block_tuples <= 0:
+            raise ValueError("block_tuples must be positive")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def cpu_only(cls, workers: int, **kw) -> "ExecutionConfig":
+        return cls(cpu_workers=workers, gpu_ids=(), **kw)
+
+    @classmethod
+    def gpu_only(cls, gpu_ids: Sequence[int], **kw) -> "ExecutionConfig":
+        return cls(cpu_workers=0, gpu_ids=tuple(gpu_ids), **kw)
+
+    @classmethod
+    def hybrid(cls, workers: int, gpu_ids: Sequence[int], **kw) -> "ExecutionConfig":
+        return cls(cpu_workers=workers, gpu_ids=tuple(gpu_ids), **kw)
+
+    @classmethod
+    def bare_cpu(cls, **kw) -> "ExecutionConfig":
+        return cls(cpu_workers=1, bare=True, **kw)
+
+    @classmethod
+    def bare_gpu(cls, gpu_id: int = 0, **kw) -> "ExecutionConfig":
+        return cls(cpu_workers=0, gpu_ids=(gpu_id,), bare=True, **kw)
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def uses_cpu(self) -> bool:
+        return self.cpu_workers > 0
+
+    @property
+    def uses_gpu(self) -> bool:
+        return bool(self.gpu_ids)
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.uses_cpu and self.uses_gpu
+
+    @property
+    def devices(self) -> list[DeviceType]:
+        out = []
+        if self.uses_cpu:
+            out.append(DeviceType.CPU)
+        if self.uses_gpu:
+            out.append(DeviceType.GPU)
+        return out
+
+    def describe(self) -> str:
+        parts = []
+        if self.uses_cpu:
+            parts.append(f"{self.cpu_workers} CPU worker(s)")
+        if self.uses_gpu:
+            parts.append(f"GPU(s) {list(self.gpu_ids)}")
+        tag = " [bare]" if self.bare else ""
+        return " + ".join(parts) + tag

@@ -1,0 +1,678 @@
+"""The heterogeneous executor: runs HetPlans on the simulated server.
+
+This module is the runtime counterpart of Section 4 of the paper.  For
+every phase of a heterogeneity-aware plan it builds a process network on
+the discrete-event simulator:
+
+* segmenter sources emit block handles (control plane only);
+* one :class:`~repro.core.router.Router` per producer stage distributes
+  handles to consumer groups (bounded queues => pull-style backpressure);
+* per consumer instance, a *fetcher* coroutine runs the mem-move producer
+  half (asynchronous DMA + prefetch, depth :data:`PREFETCH_DEPTH`) so
+  transfers overlap the worker's compute;
+* worker coroutines run the JIT-compiled pipeline over each block, charge
+  the cost model's resource demands (socket DRAM / GPU HBM / PCIe), and
+  forward packed outputs to the next router — GPU workers launch kernels
+  through :class:`~repro.core.device_crossing.Cpu2Gpu` and return results
+  through a :class:`~repro.core.device_crossing.Gpu2Cpu` queue.
+
+Phases execute in order (hash-join builds before their probes); the
+query's simulated time is the DES clock advance across all phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..algebra.physical import (
+    ExchangeEdge,
+    HetPlan,
+    OpBuildSink,
+    OpGroupAggSink,
+    OpReduceSink,
+    Phase,
+    RouterPolicy,
+    Stage,
+)
+from ..core.device_crossing import Cpu2Gpu, Gpu2Cpu
+from ..core.mem_move import MemMove
+from ..core.router import ConsumerGroup, Router
+from ..core.segmenter import Segmenter
+from ..engine.config import ExecutionConfig
+from ..engine.results import ExecutionProfile
+from ..hardware.costmodel import BlockStats, CostModel
+from ..hardware.sim import Simulator, Store
+from ..hardware.topology import DeviceType, Server
+from ..jit.codegen import PipelineCompiler
+from ..jit.pipeline import CompiledPipeline, PipelineState, QueryState
+from ..memory.block import Block, BlockHandle
+from ..memory.managers import BlockManagerSet, MemoryManager
+from ..storage.catalog import Catalog
+
+__all__ = ["Executor", "RawExecution", "QueryError", "PREFETCH_DEPTH"]
+
+#: how many blocks a consumer instance prefetches ahead of its compute
+PREFETCH_DEPTH = 2
+
+
+class QueryError(RuntimeError):
+    """Query execution failed (propagates device OOM and similar)."""
+
+
+@dataclass
+class _Instance:
+    """One pipeline instance: a worker pinned to a compute unit."""
+
+    stage: Stage
+    index: int
+    device: DeviceType
+    #: core id or gpu id
+    unit: int
+    #: memory node the instance reads/writes locally
+    node_id: str
+    #: state-sharing domain ('cpu' or 'gpu:<k>')
+    domain: str
+    state: PipelineState
+
+
+@dataclass
+class _PhaseRun:
+    """Everything _setup_phase wired up, awaiting finalisation."""
+
+    phase: Phase
+    processes: list
+    instance_map: dict[int, list["_Instance"]]
+    created_tables: list[tuple[str, str, float]]
+    mem_move: MemMove
+    routers: dict[int, Router]
+    phase_outputs: list
+
+
+@dataclass
+class RawExecution:
+    """Executor output before result shaping (the engine decodes it)."""
+
+    reduce_partials: list[dict[str, Any]] = field(default_factory=list)
+    group_partials: list[dict[tuple, dict[str, Any]]] = field(default_factory=list)
+    row_blocks: list[dict[str, np.ndarray]] = field(default_factory=list)
+    profile: ExecutionProfile = field(default_factory=ExecutionProfile)
+
+
+class Executor:
+    """Executes compiled HetPlans on one simulated server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Server,
+        catalog: Catalog,
+        blocks: BlockManagerSet,
+        cost: CostModel,
+        logical_scale: float = 1.0,
+    ):
+        self.sim = sim
+        self.server = server
+        self.catalog = catalog
+        self.blocks = blocks
+        self.cost = cost
+        self.logical_scale = logical_scale
+        self.memory_managers = {
+            node_id: MemoryManager(node)
+            for node_id, node in server.memory_nodes.items()
+        }
+        self._state_handles: list[tuple[MemoryManager, int]] = []
+
+    # -- public ---------------------------------------------------------------
+
+    def execute(self, plan: HetPlan, config: ExecutionConfig) -> RawExecution:
+        compiler = PipelineCompiler(widths=self._column_widths())
+        pipelines: dict[int, CompiledPipeline] = {}
+        for stage in plan.all_stages():
+            if not stage.is_source:
+                pipelines[stage.stage_id] = compiler.compile_stage(stage)
+
+        query_state = QueryState()
+        out = RawExecution()
+        start = self.sim.now
+        try:
+            for wave_index, wave in enumerate(self._waves(plan)):
+                wave_start = self.sim.now
+                runs = [
+                    self._setup_phase(phase, config, pipelines, query_state,
+                                      out, first_wave=wave_index == 0)
+                    for phase in wave
+                ]
+                self.sim.run()
+                for run in runs:
+                    self._finalize_phase(run, query_state, out)
+                    out.profile.phase_seconds[run.phase.name] = (
+                        self.sim.now - wave_start
+                    )
+        finally:
+            self._release_state()
+        out.profile.seconds = self.sim.now - start
+        return out
+
+    @staticmethod
+    def _waves(plan: HetPlan) -> list[list[Phase]]:
+        """Group phases into dependency levels.
+
+        Hash-join build phases over independent dimensions have no mutual
+        dependencies and run concurrently (as the paper's plans do); a
+        phase consuming a hash table runs strictly after its producer.
+        """
+        level_of_ht: dict[str, int] = {}
+        waves: dict[int, list[Phase]] = {}
+        for phase in plan.phases:
+            level = 0
+            for ht in phase.consumes_ht:
+                if ht in level_of_ht:
+                    level = max(level, level_of_ht[ht] + 1)
+            if phase.produces_ht is not None:
+                level_of_ht[phase.produces_ht] = level
+            waves.setdefault(level, []).append(phase)
+        return [waves[level] for level in sorted(waves)]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _column_widths(self) -> dict[str, int]:
+        widths: dict[str, int] = {}
+        for table in self.catalog.tables.values():
+            for name, column in table.columns.items():
+                widths[name] = column.width_bytes
+        return widths
+
+    def _release_state(self) -> None:
+        for manager, handle in self._state_handles:
+            manager.free(handle)
+        self._state_handles.clear()
+
+    def _instances_for(
+        self,
+        stage: Stage,
+        pipelines: dict[int, CompiledPipeline],
+        query_state: QueryState,
+        config: ExecutionConfig,
+    ) -> list[_Instance]:
+        pipeline = pipelines[stage.stage_id]
+        instances = []
+        for index in range(stage.dop):
+            if stage.device is DeviceType.CPU:
+                core_id = stage.affinity[index] if stage.affinity else index
+                core = self.server.cores[core_id]
+                node = self.server.dram_node(core.socket_id).node_id
+                domain = "cpu"
+                unit = core_id
+            else:
+                gpu_id = stage.affinity[index] if stage.affinity else index
+                gpu = self.server.gpus[gpu_id]
+                node = gpu.memory.node_id
+                domain = f"gpu:{gpu_id}"
+                unit = gpu_id
+            state = pipeline.new_state(query_state, domain, config.block_tuples)
+            instances.append(
+                _Instance(stage, index, stage.device, unit, node, domain, state)
+            )
+        return instances
+
+    def _create_hash_tables(
+        self, phase: Phase, query_state: QueryState,
+        instance_map: dict[int, list[_Instance]],
+    ) -> list[tuple[str, str, float]]:
+        """Pre-create the hash-table domains a build phase fills."""
+        created: list[tuple[str, str, float]] = []
+        if phase.produces_ht is None:
+            return created
+        source = phase.source_stages()[0]
+        expected = self.catalog.table(source.source.table).num_rows
+        scale = self.catalog.logical_scale(source.source.table)
+        for stage in phase.stages:
+            sink = stage.ops[-1]
+            if not isinstance(sink, OpBuildSink):
+                continue
+            domains = {inst.domain for inst in instance_map[stage.stage_id]}
+            for domain in domains:
+                query_state.create_hash_table(
+                    sink.ht_id, domain, expected, list(sink.payload)
+                )
+                created.append((sink.ht_id, domain, scale))
+        return created
+
+    def _account_hash_tables(
+        self, created: list[tuple[str, str, float]], query_state: QueryState
+    ) -> None:
+        """Charge built tables against device memory (logical bytes)."""
+        from ..memory.managers import OutOfDeviceMemory
+
+        for ht_id, domain, scale in created:
+            table = query_state.hash_table(ht_id, domain)
+            node_id = "cpu:0" if domain == "cpu" else domain
+            manager = self.memory_managers[node_id]
+            cache = (
+                self.server.spec.cpu_llc_bytes
+                if domain == "cpu"
+                else self.server.spec.gpu_cache_bytes
+            )
+            # Cache residency is judged by the table's *capacity*: the
+            # engine sizes buckets from the dimension's cardinality before
+            # the build filter's true selectivity is known, so a filtered
+            # build over a large dimension still spills.  Memory accounting
+            # uses the live content (what actually occupies device memory).
+            query_state.spilled[(ht_id, domain)] = table.nbytes * scale > cache
+            try:
+                handle = manager.allocate(
+                    table.content_nbytes * scale, label=f"{ht_id}@{domain}"
+                )
+            except OutOfDeviceMemory as err:
+                raise QueryError(
+                    f"hash table {ht_id} does not fit on {node_id}: {err}"
+                ) from err
+            self._state_handles.append((manager, handle))
+
+    # -- phase runner -----------------------------------------------------------
+
+    def _setup_phase(
+        self,
+        phase: Phase,
+        config: ExecutionConfig,
+        pipelines: dict[int, CompiledPipeline],
+        query_state: QueryState,
+        out: RawExecution,
+        first_wave: bool = True,
+    ) -> "_PhaseRun":
+        instance_map: dict[int, list[_Instance]] = {}
+        for stage in phase.stages:
+            if not stage.is_source:
+                instance_map[stage.stage_id] = self._instances_for(
+                    stage, pipelines, query_state, config
+                )
+        created_tables = self._create_hash_tables(phase, query_state, instance_map)
+
+        # Routers: one per producer stage with outgoing edges.
+        routers: dict[int, Router] = {}
+        edge_of_consumer: dict[int, ExchangeEdge] = {}
+        for stage in phase.stages:
+            edges = phase.edges_from(stage)
+            if not edges:
+                continue
+            groups = []
+            for edge in edges:
+                consumer = edge.consumer
+                nodes = [i.node_id for i in instance_map[consumer.stage_id]]
+                groups.append(ConsumerGroup(stage=consumer, instance_nodes=nodes))
+                edge_of_consumer[consumer.stage_id] = edge
+            policy = edges[0].policy
+            broadcast = edges[0].broadcast
+            routers[stage.stage_id] = Router(
+                self.sim, stage, groups, policy, broadcast=broadcast,
+                name=f"router-{phase.name}-{stage.name}",
+            )
+
+        mem_move = MemMove(self.sim, self.server, self.blocks, self.cost)
+        processes = []
+
+        # Router init + thread pinning (~10 ms): all of a query's routers
+        # initialise concurrently when execution starts, so only the first
+        # wave pays it; 'bare' configurations skip HetExchange entirely.
+        init_delay = 0.0
+        if routers and not config.bare and first_wave:
+            init_delay = self.cost.router_init_seconds
+
+        for router in routers.values():
+            processes.append(self.sim.process(router.run(), name=router.name))
+
+        phase_outputs: list[dict[str, np.ndarray]] = []
+
+        for stage in phase.stages:
+            router = routers.get(stage.stage_id)
+            if stage.is_source:
+                processes.append(
+                    self.sim.process(
+                        self._source_proc(stage, router, config, init_delay),
+                        name=f"source-{stage.name}",
+                    )
+                )
+                continue
+            instances = instance_map[stage.stage_id]
+            edge = edge_of_consumer.get(stage.stage_id)
+            out_router = routers.get(stage.stage_id)
+            tracker = _ProducerTracker(len(instances), out_router)
+            in_router = routers[phase.edges_to(stage)[0].producer.stage_id]
+            group = next(
+                g for g in in_router.groups
+                if g.stage.stage_id == stage.stage_id
+            )
+            gpu2cpu = None
+            if stage.device is DeviceType.GPU and out_router is not None:
+                gpu2cpu = Gpu2Cpu(self.sim, self.cost, name=f"gpu2cpu-{stage.name}")
+                processes.append(
+                    self.sim.process(
+                        self._gpu2cpu_relay(gpu2cpu, out_router, tracker),
+                        name=f"relay-{stage.name}",
+                    )
+                )
+                out.profile.kernels_launched += 0  # updated by workers
+            for instance in instances:
+                queue = (
+                    group.instance_queues[instance.index]
+                    if group.per_instance
+                    else group.shared_queue
+                )
+                if instance.device is DeviceType.GPU:
+                    # GPU instances prefetch ahead so DMA overlaps kernels
+                    # (the mem-move producer half runs in the fetcher).
+                    fetched = self.sim.store(
+                        capacity=PREFETCH_DEPTH,
+                        name=f"fetch-{stage.name}-{instance.index}",
+                    )
+                    processes.append(
+                        self.sim.process(
+                            self._fetch_proc(queue, fetched, instance, edge,
+                                             mem_move),
+                            name=f"fetch-{stage.name}-{instance.index}",
+                        )
+                    )
+                    source = fetched
+                else:
+                    # CPU workers pull straight from the (shared) queue:
+                    # NUMA reads need no staging, and eager prefetchers
+                    # would skew the morsel distribution across workers.
+                    source = queue
+                processes.append(
+                    self.sim.process(
+                        self._worker_proc(
+                            instance, source, edge, out_router, tracker,
+                            gpu2cpu, pipelines, phase_outputs, out, group,
+                            mem_move,
+                        ),
+                        name=f"worker-{stage.name}-{instance.index}",
+                    )
+                )
+
+        return _PhaseRun(
+            phase=phase,
+            processes=processes,
+            instance_map=instance_map,
+            created_tables=created_tables,
+            mem_move=mem_move,
+            routers=routers,
+            phase_outputs=phase_outputs,
+        )
+
+    def _finalize_phase(self, run: "_PhaseRun", query_state: QueryState,
+                        out: RawExecution) -> None:
+        phase = run.phase
+        for proc in run.processes:
+            if not proc.triggered:
+                raise QueryError(
+                    f"phase {phase.name!r} deadlocked; process {proc.name} "
+                    f"never finished"
+                )
+            if not proc.ok:
+                raise proc.value if isinstance(proc.value, QueryError) else QueryError(
+                    f"process {proc.name} failed: {proc.value!r}"
+                ) from proc.value
+
+        self._account_hash_tables(run.created_tables, query_state)
+
+        # Gather per-instance partials and accounting.
+        for stage in phase.stages:
+            if stage.is_source:
+                continue
+            for instance in run.instance_map[stage.stage_id]:
+                sink = stage.ops[-1]
+                if isinstance(sink, OpReduceSink):
+                    out.reduce_partials.append(instance.state.reduce_partials())
+                elif isinstance(sink, OpGroupAggSink):
+                    out.group_partials.append(instance.state.groups)
+                key = instance.device.value
+                agg = out.profile.device_stats.setdefault(key, BlockStats())
+                agg.merge(instance.state.stats)
+        out.row_blocks.extend(run.phase_outputs)
+        stats = run.mem_move.stats()
+        out.profile.bytes_transferred += stats["bytes_moved"]
+        out.profile.transfers += int(stats["transfers"])
+        out.profile.forwards += int(stats["forwards"])
+        for router in run.routers.values():
+            out.profile.blocks_routed += router.routed_blocks
+
+    # -- processes -----------------------------------------------------------------
+
+    def _source_proc(self, stage: Stage, router: Optional[Router],
+                     config: ExecutionConfig, init_delay: float):
+        """The segmenter: emit every block handle, then close the router."""
+        if init_delay:
+            yield self.sim.timeout(init_delay)
+        segmenter = Segmenter(
+            self.catalog,
+            stage.source.table,
+            stage.source.columns,
+            config.block_tuples,
+            logical_scale=self.catalog.logical_scale(stage.source.table),
+        )
+        if router is None:
+            raise QueryError(f"source stage {stage.name!r} has no consumers")
+        for handle in segmenter:
+            yield router.input.put(handle)
+        router.input.close()
+
+    def _fetch_proc(self, queue: Store, fetched: Store, instance: _Instance,
+                    edge: Optional[ExchangeEdge], mem_move: MemMove):
+        """Mem-move producer half + prefetch ahead of the worker."""
+        while True:
+            got = queue.get()
+            yield got
+            handle = got.value
+            if handle is Store.END:
+                fetched.close()
+                return
+            if edge is not None and edge.mem_move and not self._accessible(
+                handle, instance
+            ):
+                handle = mem_move.schedule(handle, instance.node_id)
+                handle.meta["staged"] = True
+            yield fetched.put(handle)
+
+    def _accessible(self, handle: BlockHandle, instance: _Instance) -> bool:
+        """Can the instance read the block without a transfer?
+
+        Same node always; CPU instances also read the other socket's DRAM
+        directly (NUMA access is charged to the data's home socket).
+        """
+        if handle.node_id == instance.node_id:
+            return True
+        if instance.device is DeviceType.CPU:
+            return self.server.memory_nodes[handle.node_id].kind is DeviceType.CPU
+        return False
+
+    def _worker_proc(
+        self,
+        instance: _Instance,
+        fetched: Store,
+        edge: Optional[ExchangeEdge],
+        out_router: Optional[Router],
+        tracker: "_ProducerTracker",
+        gpu2cpu: Optional[Gpu2Cpu],
+        pipelines: dict[int, CompiledPipeline],
+        phase_outputs: list,
+        out: RawExecution,
+        group=None,
+        mem_move: Optional[MemMove] = None,
+    ):
+        cpu2gpu = None
+        if instance.device is DeviceType.GPU:
+            cpu2gpu = Cpu2Gpu(self.sim, self.server.gpus[instance.unit], self.cost)
+        fn = pipelines[instance.stage.stage_id].fn
+        state = instance.state
+        uva = edge is not None and not edge.mem_move  # bare-GPU UVA reads
+        current_scale = 1.0
+        while True:
+            got = fetched.get()
+            yield got
+            handle = got.value
+            if handle is Store.END:
+                break
+            current_scale = handle.block.logical_scale
+            if (
+                mem_move is not None
+                and edge is not None
+                and edge.mem_move
+                and handle.transfer_done is None
+                and not self._accessible(handle, instance)
+            ):
+                # CPU pull path: run the mem-move inline (GPU instances had
+                # their fetcher do this ahead of time).
+                handle = mem_move.schedule(handle, instance.node_id)
+                handle.meta["staged"] = True
+            if handle.transfer_done is not None:
+                yield handle.transfer_done  # mem-move consumer half
+            before = _snapshot(state.stats)
+            outputs = fn(state, handle.block.columns, state.stats)
+            delta = _delta(state.stats, before)
+            yield from self._charge(instance, handle, delta, cpu2gpu, uva)
+            if cpu2gpu is not None:
+                out.profile.kernels_launched = (
+                    out.profile.kernels_launched + 1
+                )
+            if handle.meta.get("staged"):
+                self.blocks.release(instance.node_id)
+            if group is not None:
+                group.report_done(
+                    instance.index if group.per_instance else None
+                )
+            yield from self._emit(
+                outputs, instance, out_router, gpu2cpu, phase_outputs, current_scale
+            )
+        # End of stream: flush pack buffers, emit, then sign off.
+        flushed = []
+        if state.packer.buffered:
+            flushed.extend(state.packer.flush())
+        if state.hash_packer is not None:
+            flushed.extend(state.hash_packer.flush())
+        yield from self._emit(flushed, instance, out_router, gpu2cpu,
+                              phase_outputs, current_scale)
+        if gpu2cpu is not None:
+            yield gpu2cpu.send(Store.END)
+        else:
+            tracker.done()
+
+    def _charge(self, instance: _Instance, handle: BlockHandle,
+                delta: BlockStats, cpu2gpu: Optional[Cpu2Gpu], uva: bool):
+        """Convert a block's stats into simulated resource demands."""
+        scale = handle.block.logical_scale
+        if instance.device is DeviceType.CPU:
+            req = self.cost.cpu_block_work(delta, scale)
+            # Streamed reads hit the data's home socket (NUMA); local
+            # blocks hit the instance's own socket.
+            home = handle.node_id
+            node = self.server.memory_nodes.get(home)
+            if node is None or node.kind is not DeviceType.CPU:
+                node = self.server.memory_nodes[instance.node_id]
+            job = node.bandwidth.submit(
+                req.work_bytes, rate_cap=req.rate_cap,
+                label=f"cpu-work:{instance.stage.name}",
+            )
+            yield job
+            return
+        req = self.cost.gpu_block_work(delta, scale)
+        if uva and handle.node_id != instance.node_id:
+            # Without HetExchange the kernel reads host memory through UVA:
+            # the *streamed input* crosses the PCIe link while the kernel's
+            # device-memory traffic (hash probes, intermediates) proceeds
+            # at HBM speed; the block completes when both are done.
+            gpu = self.server.gpus[instance.unit]
+            plan = self.cost.transfer_plan(delta.bytes_in, scale=scale)
+            jobs = [
+                gpu.link.bandwidth.submit(plan.nbytes, rate_cap=plan.link_rate_cap,
+                                          label="uva"),
+            ]
+            from ..core.mem_move import DMA_WEIGHT
+
+            for dram in self.server.dram_on_path(handle.node_id, instance.node_id):
+                jobs.append(
+                    dram.bandwidth.submit(plan.nbytes, rate_cap=plan.link_rate_cap,
+                                          label="uva-host", weight=DMA_WEIGHT)
+                )
+            launch = self.sim.process(cpu2gpu.launch(req), name="kernel-uva")
+            jobs.append(launch)
+            yield self.sim.all_of(jobs)
+            return
+        yield self.sim.process(cpu2gpu.launch(req), name="kernel")
+
+    def _emit(self, outputs, instance: _Instance, out_router: Optional[Router],
+              gpu2cpu: Optional[Gpu2Cpu], phase_outputs: list,
+              scale: float = 1.0):
+        """Forward a pipeline invocation's outputs downstream."""
+        if not outputs:
+            return
+        for item in outputs:
+            hash_value = None
+            if isinstance(item, tuple):
+                hash_value, arrays = item
+            else:
+                arrays = item
+            if out_router is None:
+                phase_outputs.append(arrays)
+                continue
+            block = Block(arrays, instance.node_id, scale)
+            handle = BlockHandle(block, hash_value=hash_value)
+            if gpu2cpu is not None:
+                yield gpu2cpu.send(handle)
+            else:
+                yield out_router.input.put(handle)
+
+    def _gpu2cpu_relay(self, gpu2cpu: Gpu2Cpu, out_router: Router,
+                       tracker: "_ProducerTracker"):
+        """CPU half of gpu2cpu: receive tasks, hand them to the router."""
+        ends = 0
+        while True:
+            item = yield from gpu2cpu.receive()
+            if item is Store.END:
+                ends += 1
+                if ends >= tracker.total:
+                    tracker.done_all()
+                    return
+                continue
+            yield out_router.input.put(item)
+
+
+def _snapshot(stats: BlockStats) -> tuple:
+    return (
+        stats.tuples_in, stats.bytes_in, stats.bytes_out,
+        stats.random_accesses, stats.random_bytes,
+        stats.cpu_cycles, stats.gpu_ops,
+    )
+
+
+def _delta(stats: BlockStats, before: tuple) -> BlockStats:
+    return BlockStats(
+        tuples_in=stats.tuples_in - before[0],
+        bytes_in=stats.bytes_in - before[1],
+        bytes_out=stats.bytes_out - before[2],
+        random_accesses=stats.random_accesses - before[3],
+        random_bytes=stats.random_bytes - before[4],
+        cpu_cycles=stats.cpu_cycles - before[5],
+        gpu_ops=stats.gpu_ops - before[6],
+    )
+
+
+class _ProducerTracker:
+    """Closes a downstream router's input once all producers finished."""
+
+    def __init__(self, total: int, router: Optional[Router]):
+        self.total = total
+        self.remaining = total
+        self.router = router
+
+    def done(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and self.router is not None:
+            self.router.input.close()
+
+    def done_all(self) -> None:
+        self.remaining = 0
+        if self.router is not None:
+            self.router.input.close()

@@ -1,0 +1,126 @@
+"""The Proteus facade: a HetExchange-augmented JIT analytical engine.
+
+This is the system of Section 5 — the public entry point a user of this
+library touches:
+
+* build a simulated server (defaults to the paper's machine);
+* register columnar tables and choose their placement (CPU-interleaved,
+  GPU-partitioned, GPU-replicated);
+* run logical plans under an :class:`~repro.engine.config.ExecutionConfig`
+  (CPU-only / GPU-only / hybrid / bare) and get back real rows plus a
+  simulated execution profile.
+
+Example::
+
+    engine = Proteus()
+    engine.register(my_table)
+    result = engine.query(plan, ExecutionConfig.hybrid(24, [0, 1]))
+    print(result.rows, result.seconds)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..algebra.logical import Plan
+from ..algebra.physical import CollectSpec, HetPlan
+from ..algebra.placer import HeterogeneousPlacer
+from ..hardware.costmodel import CostModel, EngineTuning, PROTEUS_TUNING
+from ..hardware.sim import Simulator
+from ..hardware.specs import ServerSpec
+from ..hardware.topology import Server
+from ..jit.pipeline import agg_identity, merge_agg
+from ..memory.managers import BlockManagerSet
+from ..storage.catalog import Catalog
+from ..storage.table import Placement, Table
+from .config import ExecutionConfig
+from .collect import collect_result
+from .executor import Executor, RawExecution
+from .results import ExecutionProfile, QueryResult
+
+__all__ = ["Proteus"]
+
+
+class Proteus:
+    """A heterogeneous analytical query engine on a simulated server."""
+
+    def __init__(
+        self,
+        spec: Optional[ServerSpec] = None,
+        tuning: EngineTuning = PROTEUS_TUNING,
+        segment_rows: int = 1 << 20,
+        logical_scale: float = 1.0,
+    ):
+        self.sim = Simulator()
+        self.server = Server(self.sim, spec or ServerSpec())
+        self.catalog = Catalog(self.server, segment_rows=segment_rows)
+        self.blocks = BlockManagerSet(self.server)
+        self.cost = CostModel(self.server.spec, tuning)
+        self.logical_scale = logical_scale
+        self.placer = HeterogeneousPlacer(self.server, self.catalog)
+        self.executor = Executor(
+            self.sim, self.server, self.catalog, self.blocks, self.cost,
+            logical_scale=logical_scale,
+        )
+
+    # -- data -----------------------------------------------------------------
+
+    def register(self, table: Table, placement: Optional[Placement] = None) -> None:
+        """Register a table; defaults to CPU-interleaved placement."""
+        self.catalog.register(table, placement)
+
+    def place_gpu_partitioned(self, name: str, seed: int = 0) -> None:
+        self.catalog.place_gpu_partitioned(name, seed=seed)
+
+    def place_gpu_replicated(self, name: str) -> None:
+        self.catalog.place_gpu_replicated(name)
+
+    def place_interleaved(self, name: str) -> None:
+        self.catalog.place_interleaved(name)
+
+    # -- queries -----------------------------------------------------------------
+
+    def plan(self, plan: Plan, config: ExecutionConfig) -> HetPlan:
+        """Produce the heterogeneity-aware plan without executing it."""
+        return self.placer.place(plan, config)
+
+    def query(self, plan: Plan, config: ExecutionConfig) -> QueryResult:
+        """Plan, JIT-compile, and execute; returns rows + profile."""
+        het = self.placer.place(plan, config)
+        raw = self.executor.execute(het, config)
+        return self._collect(het.collect, raw)
+
+    # -- result shaping ("pipeline 2": the single-threaded collector) ---------------
+
+    def _collect(self, spec: CollectSpec, raw: RawExecution) -> QueryResult:
+        return collect_result(
+            spec,
+            raw.reduce_partials,
+            raw.group_partials,
+            raw.row_blocks,
+            raw.profile,
+            self._dictionary_of,
+        )
+
+    def _dictionary_of(self, column: str):
+        for table in self.catalog.tables.values():
+            if column in table.columns:
+                return table.columns[column].dictionary
+        return None
+
+    # -- introspection ------------------------------------------------------------
+
+    def pipeline_sources(self, plan: Plan, config: ExecutionConfig) -> dict[str, str]:
+        """Generated source per stage (debugging / the paper's Figure 3)."""
+        from ..jit.codegen import PipelineCompiler
+
+        het = self.placer.place(plan, config)
+        compiler = PipelineCompiler(widths=self.executor._column_widths())
+        return {
+            stage.name: compiler.compile_stage(stage).source
+            for stage in het.all_stages()
+            if not stage.is_source
+        }

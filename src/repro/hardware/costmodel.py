@@ -1,0 +1,276 @@
+"""Calibrated cost model: converts pipeline work into simulated durations.
+
+Correctness in this reproduction comes from really executing generated
+NumPy pipelines over real blocks; *timing* comes from this module.  Every
+block a pipeline processes produces a :class:`BlockStats` record (the JIT
+instruments the generated code), and the cost model converts those stats
+plus the target device into resource demands:
+
+* on a CPU core: the block's effective byte stream is submitted to the
+  socket's DRAM bandwidth resource with a rate cap of
+  ``min(core streaming rate, bytes / compute_time)`` — compute-bound
+  pipelines self-limit, memory-bound pipelines saturate the bus together;
+* on a GPU: the stream is submitted to the GPU's HBM resource, the kernel
+  additionally pays the launch latency, and compute-bound kernels are
+  limited by an aggregate device op rate;
+* transfers: bytes cross each PCIe link on the path *and* consume host
+  DRAM bandwidth (this coupling produces the paper's compute/transfer
+  interference past ~16 cores, Figure 6).
+
+Random (pointer-chasing) accesses — hash-table builds and probes — are
+amplified to cache-line granularity on CPUs; on GPUs the massive thread
+count hides latency, so the amplification is smaller but nonzero.  This is
+what makes the paper's join microbenchmark "GPU-friendly" (Section 6.4).
+
+Baselines reuse the model through :class:`EngineTuning` overrides:
+
+* DBMS C (vector-at-a-time) materialises every intermediate vector, so its
+  effective byte stream is inflated by ``materialize_factor``;
+* DBMS G (GPU JIT) runs at 0.5 occupancy (the paper observed it allocating
+  2x the registers per thread block) and uses pageable host memory for
+  out-of-core transfers (< half the pinned DMA bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .specs import ServerSpec
+
+__all__ = ["BlockStats", "WorkRequest", "TransferPlan", "EngineTuning", "CostModel"]
+
+_TINY = 1e-15
+
+
+@dataclass
+class BlockStats:
+    """Work accounting for one block through one pipeline.
+
+    Generated pipelines fill this in as they run; all fields are *physical*
+    counts (the logical scale factor is applied by the cost model).
+    """
+
+    tuples_in: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: number of random lookups (hash build inserts + probe reads)
+    random_accesses: int = 0
+    #: bytes touched per random access before cache-line amplification
+    random_bytes: int = 0
+    #: estimated x86 cycles for the whole block (CPU execution)
+    cpu_cycles: float = 0.0
+    #: abstract device-wide op units for the whole block (GPU execution)
+    gpu_ops: float = 0.0
+
+    def merge(self, other: "BlockStats") -> None:
+        self.tuples_in += other.tuples_in
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self.random_accesses += other.random_accesses
+        self.random_bytes += other.random_bytes
+        self.cpu_cycles += other.cpu_cycles
+        self.gpu_ops += other.gpu_ops
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """A demand to place on a bandwidth resource.
+
+    ``setup_seconds`` is paid before the bandwidth job starts (kernel
+    launch, DMA programming).
+    """
+
+    work_bytes: float
+    rate_cap: float
+    setup_seconds: float = 0.0
+
+    @property
+    def min_duration(self) -> float:
+        return self.setup_seconds + self.work_bytes / self.rate_cap
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Resource demands for moving ``nbytes`` between two memory nodes."""
+
+    nbytes: float
+    link_rate_cap: float
+    dram_rate_cap: float
+    setup_seconds: float
+
+
+@dataclass(frozen=True)
+class EngineTuning:
+    """Per-engine efficiency knobs layered over the hardware spec."""
+
+    #: CPU cache-line amplification of random accesses.
+    cpu_random_amplification: float = 4.0
+    #: GPU amplification (latency hiding leaves bandwidth waste only).
+    gpu_random_amplification: float = 1.6
+    #: Aggregate GPU op throughput (op units / second) at full occupancy.
+    gpu_compute_rate: float = 400e9
+    #: Fraction of GPU resources usable (register pressure, occupancy).
+    gpu_occupancy: float = 1.0
+    #: Effective fraction of GPU memory bandwidth usable by kernels.
+    gpu_bandwidth_efficiency: float = 0.85
+    #: Multiplier on streamed bytes for engines that materialise
+    #: intermediates (vector-at-a-time; 1.0 for register pipelining).
+    materialize_factor: float = 1.0
+    #: Multiplier on CPU cycles (interpretation / per-vector dispatch).
+    cpu_dispatch_overhead: float = 1.0
+    #: Host->device copy bandwidth cap; None means pinned DMA at link rate.
+    pageable_transfer_bandwidth: Optional[float] = None
+    #: Extra fixed time per kernel launch relative to the spec (DBMS G
+    #: launches one kernel per operator instead of per pipeline).
+    kernel_launch_multiplier: float = 1.0
+
+    def derive(self, **overrides) -> "EngineTuning":
+        return replace(self, **overrides)
+
+
+#: Proteus with HetExchange: register-pipelined JIT code on both devices.
+PROTEUS_TUNING = EngineTuning()
+
+#: DBMS C: columnar SIMD vector-at-a-time CPU engine (MonetDB/X100 style).
+#: Intermediate-vector materialisation is accounted *explicitly* by the
+#: DBMSC proxy (bitmaps + compacted vectors per operator), so the factor
+#: here stays 1; the dispatch overhead models per-vector interpretation.
+DBMS_C_TUNING = EngineTuning(
+    materialize_factor=1.0,
+    cpu_dispatch_overhead=1.15,
+)
+
+#: DBMS G: JIT GPU engine; 2x register allocation halves occupancy, data
+#: staged in pageable memory when out-of-core.
+#: Halved occupancy also halves the latency-hiding head-room, so random
+#: gathers on spilled dense arrays are strongly latency-bound (the high
+#: random amplification below).
+DBMS_G_TUNING = EngineTuning(
+    gpu_occupancy=0.5,
+    gpu_bandwidth_efficiency=0.62,
+    gpu_random_amplification=6.0,
+    pageable_transfer_bandwidth=5.0e9,
+    kernel_launch_multiplier=4.0,
+)
+
+
+class CostModel:
+    """Turns :class:`BlockStats` into resource demands for one engine."""
+
+    def __init__(self, spec: ServerSpec, tuning: EngineTuning = PROTEUS_TUNING):
+        self.spec = spec
+        self.tuning = tuning
+
+    # -- CPU --------------------------------------------------------------
+
+    def cpu_block_work(self, stats: BlockStats, scale: float = 1.0) -> WorkRequest:
+        """Demand one core places on its socket's DRAM resource."""
+        t = self.tuning
+        bytes_eff = (
+            (stats.bytes_in + stats.bytes_out) * t.materialize_factor
+            + stats.random_bytes * t.cpu_random_amplification
+        ) * scale
+        compute_seconds = (
+            stats.cpu_cycles * t.cpu_dispatch_overhead * scale / self.spec.cpu_frequency_hz
+        )
+        if bytes_eff <= 0:
+            # Pure compute: emulate with a tiny stream at a rate that yields
+            # exactly the compute time.
+            bytes_eff = 1.0
+        rate_cap = min(
+            self.spec.core_stream_bandwidth,
+            bytes_eff / max(compute_seconds, _TINY),
+        )
+        return WorkRequest(work_bytes=bytes_eff, rate_cap=rate_cap)
+
+    # -- GPU --------------------------------------------------------------
+
+    def gpu_block_work(self, stats: BlockStats, scale: float = 1.0) -> WorkRequest:
+        """Demand one kernel places on the GPU's HBM resource."""
+        t = self.tuning
+        bytes_eff = (
+            (stats.bytes_in + stats.bytes_out)
+            + stats.random_bytes * t.gpu_random_amplification
+        ) * scale
+        effective_rate = t.gpu_compute_rate * t.gpu_occupancy
+        compute_seconds = stats.gpu_ops * scale / effective_rate
+        if bytes_eff <= 0:
+            bytes_eff = 1.0
+        rate_cap = min(
+            self.spec.gpu_memory_bandwidth * t.gpu_bandwidth_efficiency * t.gpu_occupancy,
+            bytes_eff / max(compute_seconds, _TINY),
+        )
+        launch = self.spec.kernel_launch_seconds * t.kernel_launch_multiplier
+        return WorkRequest(work_bytes=bytes_eff, rate_cap=rate_cap, setup_seconds=launch)
+
+    # -- transfers ---------------------------------------------------------
+
+    def transfer_plan(self, nbytes: float, scale: float = 1.0) -> TransferPlan:
+        """Demands for one DMA transfer of ``nbytes`` physical bytes."""
+        t = self.tuning
+        link_cap = self.spec.pcie_stream_cap
+        if t.pageable_transfer_bandwidth is not None:
+            link_cap = min(link_cap, t.pageable_transfer_bandwidth)
+        return TransferPlan(
+            nbytes=nbytes * scale,
+            link_rate_cap=link_cap,
+            dram_rate_cap=self.spec.socket_dram_bandwidth,
+            setup_seconds=self.spec.dma_setup_seconds,
+        )
+
+    # -- fixed overheads ----------------------------------------------------
+
+    @property
+    def router_init_seconds(self) -> float:
+        return self.spec.router_init_seconds
+
+    @property
+    def task_spawn_seconds(self) -> float:
+        return self.spec.task_spawn_seconds
+
+    @property
+    def kernel_launch_seconds(self) -> float:
+        return self.spec.kernel_launch_seconds * self.tuning.kernel_launch_multiplier
+
+    def with_tuning(self, tuning: EngineTuning) -> "CostModel":
+        return CostModel(self.spec, tuning)
+
+
+# Rough per-operator cycle weights used by codegen to fill BlockStats.
+# These are classic micro-architectural estimates for tight JIT loops over
+# columnar data (compare Neumann'11 / HyPer reports): a predicate is a
+# handful of cycles, a hash probe costs hashing plus a dependent load.
+@dataclass(frozen=True)
+class OperatorCycleWeights:
+    #: branchy scalar comparisons in generated code (not SIMD-friendly
+    #: once mixed with selection logic) — calibrated so SSB Q1.x lands
+    #: near the paper's CPU times at 1.8 GHz
+    filter_per_predicate: float = 5.0
+    arithmetic_per_op: float = 2.0
+    hash_compute: float = 6.0
+    hash_probe: float = 14.0  # plus the random memory traffic, charged via bytes
+    hash_build_insert: float = 20.0
+    #: streaming reductions vectorise well (the Figure 7 sum microbench
+    #: reaches the per-core streaming rate)
+    aggregate_update: float = 0.75
+    group_lookup: float = 12.0
+    pack_per_tuple: float = 3.0
+    unpack_per_tuple: float = 0.5
+    string_compare: float = 12.0
+
+    # GPU op-unit weights: SIMT lanes make per-tuple control logic cheap;
+    # the device-wide op rate in EngineTuning absorbs the parallelism.
+    gpu_filter_per_predicate: float = 1.0
+    gpu_arithmetic_per_op: float = 1.0
+    gpu_hash_compute: float = 2.0
+    gpu_hash_probe: float = 3.0
+    gpu_hash_build_insert: float = 8.0
+    gpu_aggregate_update: float = 2.0
+    gpu_group_lookup: float = 4.0
+    gpu_pack_per_tuple: float = 1.0
+    gpu_unpack_per_tuple: float = 0.5
+    gpu_string_compare: float = 6.0
+
+
+CYCLES = OperatorCycleWeights()

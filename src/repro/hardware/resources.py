@@ -1,0 +1,233 @@
+"""Shared-resource models for the simulated server.
+
+Two kinds of contention matter for reproducing the paper's evaluation:
+
+* **Exclusive servers** — a CPU core runs one pipeline instance at a time, a
+  GPU's compute engine runs one kernel at a time.  Modelled by
+  :class:`FifoResource`.
+
+* **Shared bandwidth** — a socket's DRAM channels are shared by all local
+  cores (and by PCIe DMA traffic; the paper observes compute/transfer
+  interference past ~16 cores in Figure 6), and each PCIe link is shared by
+  concurrent DMA streams.  Modelled by :class:`BandwidthResource`, a
+  processor-sharing server with per-job rate caps: a single core cannot pull
+  more than its own streaming rate even when the bus is idle, but many cores
+  together saturate the bus.
+
+The allocation rule is progressive (water-filling): spare capacity left by
+rate-capped jobs is redistributed to the uncapped ones, which is how real
+memory controllers behave to first order and what makes the scalability
+curves in Figures 6 and 7 flatten at the measured socket bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional
+
+from .sim import Event, SimulationError, Simulator
+
+__all__ = ["FifoResource", "BandwidthResource", "BandwidthJob"]
+
+
+class FifoResource:
+    """An exclusive server with a FIFO wait queue.
+
+    Usage from a process::
+
+        grant = resource.acquire()
+        yield grant
+        ...                      # hold the resource
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "", slots: int = 1):
+        if slots < 1:
+            raise SimulationError("resource must have at least one slot")
+        self.sim = sim
+        self.name = name
+        self.slots = slots
+        self._in_use = 0
+        self._waiters: list[Event] = []
+        self.total_busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> Event:
+        event = Event(self.sim, name=f"acquire:{self.name}")
+        if self._in_use < self.slots:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.total_busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiters:
+            self._grant(self._waiters.pop(0))
+
+    def _grant(self, event: Event) -> None:
+        self._in_use += 1
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        event.trigger(self)
+
+
+class BandwidthJob:
+    """One in-flight demand on a :class:`BandwidthResource`."""
+
+    __slots__ = ("work", "remaining", "rate_cap", "rate", "done", "label", "weight")
+
+    def __init__(self, work: float, rate_cap: Optional[float], done: Event,
+                 label: str, weight: float = 1.0):
+        self.work = work
+        self.remaining = work
+        self.rate_cap = rate_cap
+        self.rate = 0.0
+        self.done = done
+        self.label = label
+        self.weight = weight
+
+
+class BandwidthResource:
+    """Processor-sharing bandwidth server with per-job rate caps.
+
+    ``capacity`` is in work units per second (we use bytes/s throughout).
+    ``submit(work, rate_cap)`` returns an event that triggers when the job's
+    work has been served.  At every instant, capacity is divided among
+    active jobs by water-filling: jobs whose cap is below the fair share get
+    their cap; the remainder is split evenly among the rest.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"bandwidth capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self._jobs: list[BandwidthJob] = []
+        self._last_update = 0.0
+        self._epoch = itertools.count()
+        self._current_epoch = -1
+        self.total_work_served = 0.0
+        self._busy_time = 0.0
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated time during which at least one job was active."""
+        self._advance()
+        return self._busy_time
+
+    def submit(self, work: float, rate_cap: Optional[float] = None,
+               label: str = "", weight: float = 1.0) -> Event:
+        """Enqueue ``work`` units; the returned event fires at completion.
+
+        ``weight`` biases the fair share (DMA engines get arbitration
+        priority over core load/store streams on real memory controllers).
+        """
+        if work < 0:
+            raise SimulationError(f"negative work: {work}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise SimulationError(f"rate cap must be positive, got {rate_cap}")
+        if weight <= 0:
+            raise SimulationError(f"weight must be positive, got {weight}")
+        done = Event(self.sim, name=f"bw:{self.name}:{label}")
+        if work == 0:
+            done.trigger(None)
+            return done
+        self._advance()
+        self._jobs.append(BandwidthJob(float(work), rate_cap, done, label, weight))
+        self._reschedule()
+        return done
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` during which the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    # -- internals -------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account for work served since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._jobs:
+            self._busy_time += elapsed
+            for job in self._jobs:
+                served = job.rate * elapsed
+                job.remaining -= served
+                self.total_work_served += served
+        self._last_update = now
+
+    def _allocate(self) -> None:
+        """Weighted water-filling allocation across active jobs."""
+        pending = list(self._jobs)
+        remaining_capacity = self.capacity
+        # Jobs with caps below their weighted fair share get their cap;
+        # the freed capacity is redistributed among the rest.
+        while pending:
+            total_weight = sum(j.weight for j in pending)
+            per_weight = remaining_capacity / total_weight
+            capped = [
+                j for j in pending
+                if j.rate_cap is not None and j.rate_cap < j.weight * per_weight
+            ]
+            if not capped:
+                for job in pending:
+                    job.rate = job.weight * per_weight
+                return
+            for job in capped:
+                job.rate = job.rate_cap
+                remaining_capacity -= job.rate_cap
+                pending.remove(job)
+        # All jobs were capped below the fair share; spare capacity is idle.
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next completion."""
+        epoch = next(self._epoch)
+        self._current_epoch = epoch
+        finished = [j for j in self._jobs if j.remaining <= 1e-9 * max(1.0, j.work)]
+        for job in finished:
+            self._jobs.remove(job)
+            job.remaining = 0.0
+            job.done.trigger(None)
+        if not self._jobs:
+            return
+        self._allocate()
+        rates = [job.remaining / job.rate for job in self._jobs if job.rate > 0]
+        if not rates:
+            raise SimulationError(
+                f"bandwidth resource {self.name!r} stalled: no job makes progress"
+            )
+        next_finish = min(rates)
+        if not math.isfinite(next_finish):
+            raise SimulationError(f"bandwidth resource {self.name!r} stalled")
+        # Guard against float underflow: now + delay must strictly advance
+        # the clock, or zero-progress ticks repeat forever.  The epsilon is
+        # relative to the current time (ulp-sized steps still advance).
+        min_tick = max(abs(self.sim.now) * 1e-12, 1e-15)
+        next_finish = max(next_finish, min_tick)
+
+        def on_tick() -> None:
+            if self._current_epoch != epoch:
+                return  # a newer state change superseded this tick
+            self._advance()
+            self._reschedule()
+
+        self.sim._schedule_call(on_tick, delay=next_finish)

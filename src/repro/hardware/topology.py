@@ -1,0 +1,278 @@
+"""Simulated server topology: sockets, cores, GPUs, memory nodes, links.
+
+This module instantiates the *dynamic* counterpart of a
+:class:`~repro.hardware.specs.ServerSpec`: every memory node gets a
+processor-sharing :class:`~repro.hardware.resources.BandwidthResource`,
+every core and GPU an exclusive :class:`~repro.hardware.resources.FifoResource`,
+and every GPU a PCIe link resource.  The executor pins pipeline instances to
+:class:`Core`/:class:`Gpu` objects (the paper's affinity control, Section
+4.2), and the data-flow operators consult :meth:`Server.link_between` to
+route DMA traffic.
+
+Memory-node identifiers follow the paper's NUMA framing: ``cpu:<socket>``
+for socket-local DRAM and ``gpu:<gpu>`` for device memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .resources import BandwidthResource, FifoResource
+from .sim import Simulator
+from .specs import PAPER_SERVER, ServerSpec
+
+__all__ = [
+    "DeviceType",
+    "MemoryNode",
+    "Core",
+    "Socket",
+    "Gpu",
+    "PcieLink",
+    "Server",
+    "build_server",
+]
+
+
+class DeviceType(enum.Enum):
+    """The two compute-device families HetExchange targets."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class MemoryNode:
+    """One NUMA memory node (socket DRAM or GPU device memory)."""
+
+    node_id: str
+    kind: DeviceType
+    capacity_bytes: float
+    bandwidth: BandwidthResource
+    used_bytes: float = 0.0
+
+    def allocate(self, nbytes: float) -> None:
+        """Track an allocation; raises when device memory is exhausted."""
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"memory node {self.node_id} exhausted: "
+                f"{self.used_bytes + nbytes:.3e} > {self.capacity_bytes:.3e} bytes"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: float) -> None:
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MemoryNode {self.node_id}>"
+
+
+@dataclass
+class Core:
+    """One physical CPU core; an exclusive execution slot."""
+
+    core_id: int
+    socket_id: int
+    resource: FifoResource
+    device_type: DeviceType = DeviceType.CPU
+
+    @property
+    def name(self) -> str:
+        return f"core{self.core_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Core {self.core_id} socket={self.socket_id}>"
+
+
+@dataclass
+class Socket:
+    """One CPU socket: a set of cores plus a local DRAM node."""
+
+    socket_id: int
+    cores: list[Core]
+    memory: MemoryNode
+    gpu_ids: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Socket {self.socket_id} cores={len(self.cores)}>"
+
+
+@dataclass
+class PcieLink:
+    """The PCIe connection between a socket and one GPU."""
+
+    gpu_id: int
+    socket_id: int
+    bandwidth: BandwidthResource
+
+
+@dataclass
+class Gpu:
+    """One GPU: device memory, a serialized compute engine, a PCIe link."""
+
+    gpu_id: int
+    socket_id: int
+    memory: MemoryNode
+    compute: FifoResource
+    link: PcieLink
+    device_type: DeviceType = DeviceType.GPU
+
+    @property
+    def name(self) -> str:
+        return f"gpu{self.gpu_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gpu {self.gpu_id} socket={self.socket_id}>"
+
+
+class Server:
+    """A fully wired simulated heterogeneous server.
+
+    Construct via :func:`build_server` (or
+    :meth:`Server.paper_machine`), which needs a live
+    :class:`~repro.hardware.sim.Simulator` because all shared resources are
+    simulation objects.
+    """
+
+    def __init__(self, sim: Simulator, spec: ServerSpec):
+        self.sim = sim
+        self.spec = spec
+        self.sockets: list[Socket] = []
+        self.cores: list[Core] = []
+        self.gpus: list[Gpu] = []
+        self.memory_nodes: dict[str, MemoryNode] = {}
+
+        core_id = 0
+        gpu_id = 0
+        for socket_id in range(spec.num_sockets):
+            dram = MemoryNode(
+                node_id=f"cpu:{socket_id}",
+                kind=DeviceType.CPU,
+                capacity_bytes=spec.dram_capacity_per_socket,
+                bandwidth=BandwidthResource(
+                    sim, spec.socket_dram_bandwidth, name=f"dram:{socket_id}"
+                ),
+            )
+            self.memory_nodes[dram.node_id] = dram
+            cores = []
+            for _ in range(spec.cores_per_socket):
+                cores.append(
+                    Core(
+                        core_id=core_id,
+                        socket_id=socket_id,
+                        resource=FifoResource(sim, name=f"core{core_id}"),
+                    )
+                )
+                core_id += 1
+            socket = Socket(socket_id=socket_id, cores=cores, memory=dram)
+            self.sockets.append(socket)
+            self.cores.extend(cores)
+            for _ in range(spec.gpus_per_socket[socket_id]):
+                hbm = MemoryNode(
+                    node_id=f"gpu:{gpu_id}",
+                    kind=DeviceType.GPU,
+                    capacity_bytes=spec.gpu_memory_capacity,
+                    bandwidth=BandwidthResource(
+                        sim, spec.gpu_memory_bandwidth, name=f"hbm:{gpu_id}"
+                    ),
+                )
+                self.memory_nodes[hbm.node_id] = hbm
+                link = PcieLink(
+                    gpu_id=gpu_id,
+                    socket_id=socket_id,
+                    bandwidth=BandwidthResource(
+                        sim, spec.pcie_bandwidth, name=f"pcie:{gpu_id}"
+                    ),
+                )
+                gpu = Gpu(
+                    gpu_id=gpu_id,
+                    socket_id=socket_id,
+                    memory=hbm,
+                    compute=FifoResource(sim, name=f"gpu{gpu_id}"),
+                    link=link,
+                )
+                self.gpus.append(gpu)
+                socket.gpu_ids.append(gpu_id)
+                gpu_id += 1
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def paper_machine(cls, sim: Simulator) -> "Server":
+        """The 2-socket, 24-core, 2-GPU server of the paper's evaluation."""
+        return cls(sim, PAPER_SERVER)
+
+    # -- lookups ---------------------------------------------------------
+
+    def socket_of(self, node_id: str) -> int:
+        """Socket that owns (or hosts the PCIe link of) a memory node."""
+        node = self.memory_nodes[node_id]
+        if node.kind is DeviceType.CPU:
+            return int(node_id.split(":")[1])
+        return self.gpus[int(node_id.split(":")[1])].socket_id
+
+    def gpu_for_node(self, node_id: str) -> Optional[Gpu]:
+        node = self.memory_nodes[node_id]
+        if node.kind is DeviceType.GPU:
+            return self.gpus[int(node_id.split(":")[1])]
+        return None
+
+    def dram_node(self, socket_id: int) -> MemoryNode:
+        return self.memory_nodes[f"cpu:{socket_id}"]
+
+    def links_on_path(self, src_node: str, dst_node: str) -> list[PcieLink]:
+        """PCIe links a transfer from ``src_node`` to ``dst_node`` crosses.
+
+        Same-node transfers cross nothing; CPU<->GPU crosses that GPU's
+        link; GPU<->GPU crosses both links (the paper's server has no
+        NVLink; peer transfers are staged through the host).
+        """
+        if src_node == dst_node:
+            return []
+        links = []
+        for node_id in (src_node, dst_node):
+            gpu = self.gpu_for_node(node_id)
+            if gpu is not None:
+                links.append(gpu.link)
+        return links
+
+    def dram_on_path(self, src_node: str, dst_node: str) -> list[MemoryNode]:
+        """Host DRAM nodes a transfer reads from / writes to.
+
+        Transfers consume host memory bandwidth too — this is the
+        compute/transfer interference the paper reports past 16 cores.
+        """
+        nodes = []
+        for node_id in (src_node, dst_node):
+            node = self.memory_nodes[node_id]
+            if node.kind is DeviceType.CPU:
+                nodes.append(node)
+        if not nodes:
+            # GPU-to-GPU staging bounces through the source GPU's socket.
+            src_gpu = self.gpu_for_node(src_node)
+            assert src_gpu is not None
+            nodes.append(self.dram_node(src_gpu.socket_id))
+        return nodes
+
+    def interleaved_dram_nodes(self) -> list[MemoryNode]:
+        """DRAM nodes in socket order, for interleaved data placement."""
+        return [socket.memory for socket in self.sockets]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Server sockets={len(self.sockets)} cores={len(self.cores)} "
+            f"gpus={len(self.gpus)}>"
+        )
+
+
+def build_server(sim: Simulator, spec: Optional[ServerSpec] = None) -> Server:
+    """Build a simulated server; defaults to the paper's machine."""
+    return Server(sim, spec or PAPER_SERVER)

@@ -1,0 +1,24 @@
+"""Memory infrastructure: blocks, block managers, state memory managers."""
+
+from .block import Block, BlockHandle
+from .managers import (
+    REMOTE_ACQUIRE_LATENCY,
+    REMOTE_BATCH_SIZE,
+    BlockManager,
+    BlockManagerSet,
+    MemoryManager,
+    OutOfDeviceMemory,
+    make_block,
+)
+
+__all__ = [
+    "Block",
+    "BlockHandle",
+    "MemoryManager",
+    "BlockManager",
+    "BlockManagerSet",
+    "OutOfDeviceMemory",
+    "make_block",
+    "REMOTE_ACQUIRE_LATENCY",
+    "REMOTE_BATCH_SIZE",
+]

@@ -1,0 +1,18 @@
+"""Microbenchmarks of Section 6.4 (Figures 7 and 8)."""
+
+from .workloads import (
+    join_count_query,
+    make_join_tables,
+    make_sum_table,
+    sum_query,
+)
+from .harness import run_scaleup, run_sizeup
+
+__all__ = [
+    "make_sum_table",
+    "make_join_tables",
+    "sum_query",
+    "join_count_query",
+    "run_scaleup",
+    "run_sizeup",
+]

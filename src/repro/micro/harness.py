@@ -1,0 +1,155 @@
+"""Harness for the scale-up (Figure 7) and size-up (Figure 8) experiments.
+
+Figure 7 plots speed-up over CPU-without-HetExchange for the sum and join
+queries across CPU core counts and {0, 1, 2} GPUs, with dashed reference
+lines for bare (non-HetExchange) single-CPU and single-GPU Proteus —
+"without them, Proteus does not scale up".
+
+Figure 8 zooms into HetExchange's overheads at degree of parallelism 1:
+execution time for input sizes 0.125-16 GB with and without the
+HetExchange operators.  The paper measures at most ~10 % overhead above
+512 MB and up to ~50 % for a 64 MB GPU sum (the ~10 ms router
+initialisation and thread pinning dominating tiny inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..engine.config import ExecutionConfig
+from ..engine.proteus import Proteus
+from .workloads import (
+    BUILD_BYTES,
+    SUM_BYTES,
+    join_count_query,
+    make_join_tables,
+    make_sum_table,
+    sum_query,
+)
+
+__all__ = ["MicroSettings", "run_scaleup", "run_sizeup"]
+
+
+@dataclass
+class MicroSettings:
+    physical_rows: int = 200_000
+    build_rows: int = 4_000
+    block_tuples: int = 1024
+    segment_rows: int = 8192
+    seed: int = 3
+
+
+def _engine_for(query: str, settings: MicroSettings, sum_bytes: float,
+                build_bytes: float = BUILD_BYTES) -> Proteus:
+    engine = Proteus(segment_rows=settings.segment_rows)
+    if query == "sum":
+        table = make_sum_table(settings.physical_rows, settings.seed)
+        engine.register(table)
+        engine.catalog.set_logical_scale("t", sum_bytes / table.column_bytes())
+    elif query == "join":
+        probe, build = make_join_tables(settings.physical_rows,
+                                        settings.build_rows, settings.seed)
+        engine.register(probe)
+        engine.register(build)
+        engine.catalog.set_logical_scale("probe", sum_bytes / probe.column_bytes())
+        engine.catalog.set_logical_scale("build", build_bytes / build.column_bytes())
+    else:
+        raise ValueError(f"unknown microbenchmark query {query!r}")
+    return engine
+
+
+def _plan(query: str):
+    return sum_query() if query == "sum" else join_count_query()
+
+
+def run_scaleup(
+    query: str,
+    settings: Optional[MicroSettings] = None,
+    core_counts: Sequence[int] = (0, 1, 2, 4, 8, 12, 16, 20, 24),
+    gpu_counts: Sequence[int] = (0, 1, 2),
+    sum_bytes: float = SUM_BYTES,
+) -> dict:
+    """Figure 7 for one query: execution times per (#cores, #gpus) plus
+    the bare (non-HetExchange) single-CPU and single-GPU references.
+
+    Returns ``{"times": {(gpus, cores): seconds}, "bare_cpu": s,
+    "bare_gpu": s, "speedups": {...}}`` — speed-ups are relative to
+    ``bare_cpu``, matching the figure's y-axis.
+    """
+    settings = settings or MicroSettings()
+    plan = _plan(query)
+    times: dict[tuple[int, int], float] = {}
+    for gpus in gpu_counts:
+        for cores in core_counts:
+            if cores == 0 and gpus == 0:
+                continue
+            engine = _engine_for(query, settings, sum_bytes)
+            if cores and gpus:
+                config = ExecutionConfig.hybrid(
+                    cores, tuple(range(gpus)), block_tuples=settings.block_tuples)
+            elif gpus:
+                config = ExecutionConfig.gpu_only(
+                    tuple(range(gpus)), block_tuples=settings.block_tuples)
+            else:
+                config = ExecutionConfig.cpu_only(
+                    cores, block_tuples=settings.block_tuples)
+            times[(gpus, cores)] = engine.query(plan, config).seconds
+
+    bare_cpu_engine = _engine_for(query, settings, sum_bytes)
+    bare_cpu = bare_cpu_engine.query(
+        plan, ExecutionConfig.bare_cpu(block_tuples=settings.block_tuples)
+    ).seconds
+    bare_gpu_engine = _engine_for(query, settings, sum_bytes)
+    bare_gpu = bare_gpu_engine.query(
+        plan, ExecutionConfig.bare_gpu(0, block_tuples=settings.block_tuples)
+    ).seconds
+    speedups = {key: bare_cpu / t for key, t in times.items()}
+    return {
+        "query": query,
+        "times": times,
+        "bare_cpu": bare_cpu,
+        "bare_gpu": bare_gpu,
+        "speedups": speedups,
+        "bare_gpu_speedup": bare_cpu / bare_gpu,
+    }
+
+
+def run_sizeup(
+    query: str,
+    settings: Optional[MicroSettings] = None,
+    sizes_gb: Sequence[float] = (0.0625, 0.125, 0.25, 0.5, 1, 2, 4, 8, 16),
+    device: str = "cpu",
+) -> dict:
+    """Figure 8 for one query on one device: time vs input size, with and
+    without HetExchange, both at degree of parallelism 1.
+
+    "We force the optimizer to add all the HetExchange operators ...  We
+    restrict the router's degree of parallelism to 1."
+    """
+    settings = settings or MicroSettings()
+    plan = _plan(query)
+    with_het: dict[float, float] = {}
+    without: dict[float, float] = {}
+    for size_gb in sizes_gb:
+        nbytes = size_gb * 1e9
+        engine = _engine_for(query, settings, nbytes)
+        if device == "cpu":
+            config = ExecutionConfig.cpu_only(1, block_tuples=settings.block_tuples)
+            bare = ExecutionConfig.bare_cpu(block_tuples=settings.block_tuples)
+        else:
+            config = ExecutionConfig.gpu_only((0,), block_tuples=settings.block_tuples)
+            bare = ExecutionConfig.bare_gpu(0, block_tuples=settings.block_tuples)
+        with_het[size_gb] = engine.query(plan, config).seconds
+        engine2 = _engine_for(query, settings, nbytes)
+        without[size_gb] = engine2.query(plan, bare).seconds
+    overhead = {
+        size: with_het[size] / without[size] - 1.0 for size in with_het
+    }
+    return {
+        "query": query,
+        "device": device,
+        "with_hetexchange": with_het,
+        "without_hetexchange": without,
+        "overhead": overhead,
+    }

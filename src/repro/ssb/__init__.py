@@ -1,0 +1,24 @@
+"""Star Schema Benchmark: schema, generator, queries, loaders."""
+
+from .generator import SSBGenerator, generate_ssb, physical_rows
+from .loader import load_ssb, ssb_logical_scales, working_set_bytes
+from .queries import QUERY_GROUP, SSB_QUERY_IDS, ssb_queries, ssb_query
+from .schema import MFGRS, NATIONS, REGIONS, SSB_SCHEMAS, rows_at_scale
+
+__all__ = [
+    "SSBGenerator",
+    "generate_ssb",
+    "physical_rows",
+    "load_ssb",
+    "ssb_logical_scales",
+    "working_set_bytes",
+    "ssb_query",
+    "ssb_queries",
+    "SSB_QUERY_IDS",
+    "QUERY_GROUP",
+    "SSB_SCHEMAS",
+    "REGIONS",
+    "NATIONS",
+    "MFGRS",
+    "rows_at_scale",
+]

@@ -1,0 +1,257 @@
+"""Star Schema Benchmark data generator (a NumPy dbgen).
+
+Generates the five SSB tables at an arbitrary — possibly fractional —
+*physical* scale factor, preserving the value distributions the SSB
+queries' selectivities depend on:
+
+* ``d_year`` spans 1992-1998, one row per calendar day;
+* ``p_category = p_mfgr || digit``; ``p_brand1 = p_category || (1..40)``
+  (so the lexicographic BETWEEN of Q2.2 selects exactly brands 21..28);
+* city strings are the first nine characters of the nation padded with a
+  digit (so Q3.3's ``'UNITED KI1'`` matches UNITED KINGDOM city #1);
+* ``lo_discount`` uniform 0..10, ``lo_quantity`` uniform 1..50 (the Q1.x
+  flight selectivities), ``lo_revenue = lo_extendedprice*(100-lo_discount)/100``.
+
+The paper runs SF100 (~60 GB) and SF1000 (~600 GB); this reproduction
+generates small physical data and replays it through the cost model at
+the paper's logical scale (see ``repro.ssb.loader``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..storage.column import Column
+from ..storage.table import Table
+from ..storage.types import DataType
+from .schema import MFGRS, NATIONS, REGIONS, rows_at_scale
+
+__all__ = ["SSBGenerator", "generate_ssb", "physical_rows"]
+
+_SEASONS = ["Winter", "Spring", "Summer", "Fall", "Christmas"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream",
+]
+_CONTAINERS = [
+    "SM CASE", "SM BOX", "SM BAG", "SM PKG", "MED CASE", "MED BOX", "MED BAG",
+    "MED PKG", "LG CASE", "LG BOX", "LG BAG", "LG PKG",
+]
+_MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+_WEEKDAYS = [
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+]
+
+
+def physical_rows(table: str, scale_factor: float) -> int:
+    """Physical row counts: like the SSB spec, but dimensions shrink
+    proportionally below SF 1 (with floors) so tiny test datasets stay
+    star-shaped."""
+    if scale_factor >= 1:
+        return rows_at_scale(table, scale_factor)
+    if table == "lineorder":
+        return max(1000, int(6_000_000 * scale_factor))
+    if table == "customer":
+        return max(300, int(30_000 * scale_factor))
+    if table == "supplier":
+        return max(100, int(2_000 * scale_factor))
+    if table == "part":
+        return max(1000, int(200_000 * scale_factor))
+    if table == "date":
+        return 2_556
+    raise KeyError(f"unknown SSB table {table!r}")
+
+
+def _city(nation: str, digit: int) -> str:
+    return f"{nation[:9]:<9}{digit}"
+
+
+@dataclass
+class SSBGenerator:
+    """Deterministic SSB generator at one physical scale factor."""
+
+    scale_factor: float = 0.01
+    seed: int = 42
+
+    def generate(self) -> dict[str, Table]:
+        rng = np.random.default_rng(self.seed)
+        date = self._date()
+        customer = self._customer(rng)
+        supplier = self._supplier(rng)
+        part = self._part(rng)
+        lineorder = self._lineorder(rng, date, customer, supplier, part)
+        return {
+            "date": date,
+            "customer": customer,
+            "supplier": supplier,
+            "part": part,
+            "lineorder": lineorder,
+        }
+
+    # -- dimensions ------------------------------------------------------------
+
+    def _date(self) -> Table:
+        start = datetime.date(1992, 1, 1)
+        days = [start + datetime.timedelta(days=i)
+                for i in range(physical_rows("date", self.scale_factor))]
+        datekey = np.array([d.year * 10000 + d.month * 100 + d.day for d in days],
+                           dtype=np.int32)
+        year = np.array([d.year for d in days], dtype=np.int32)
+        month_num = np.array([d.month for d in days], dtype=np.int32)
+        yearmonthnum = year * 100 + month_num
+        yearmonth = [f"{_MONTHS[d.month - 1][:3]}{d.year}" for d in days]
+        weekday = [_WEEKDAYS[d.weekday()] for d in days]
+        daynuminweek = np.array([d.isoweekday() for d in days], dtype=np.int32)
+        daynuminmonth = np.array([d.day for d in days], dtype=np.int32)
+        daynuminyear = np.array([d.timetuple().tm_yday for d in days], dtype=np.int32)
+        weeknuminyear = np.array([(d.timetuple().tm_yday - 1) // 7 + 1 for d in days],
+                                 dtype=np.int32)
+        season = [
+            "Christmas" if d.month == 12 else _SEASONS[(d.month % 12) // 3]
+            for d in days
+        ]
+        holiday = np.array([1 if (d.month, d.day) in {(1, 1), (7, 4), (12, 25)} else 0
+                            for d in days], dtype=np.int32)
+        weekdayfl = np.array([1 if d.isoweekday() <= 5 else 0 for d in days],
+                             dtype=np.int32)
+        return Table("date", [
+            Column("d_datekey", DataType.DATE32, datekey),
+            Column.from_strings("d_dayofweek", weekday),
+            Column.from_strings("d_month", [_MONTHS[d.month - 1] for d in days]),
+            Column("d_year", DataType.INT32, year),
+            Column("d_yearmonthnum", DataType.INT32, yearmonthnum),
+            Column.from_strings("d_yearmonth", yearmonth),
+            Column("d_daynuminweek", DataType.INT32, daynuminweek),
+            Column("d_daynuminmonth", DataType.INT32, daynuminmonth),
+            Column("d_daynuminyear", DataType.INT32, daynuminyear),
+            Column("d_monthnuminyear", DataType.INT32, month_num),
+            Column("d_weeknuminyear", DataType.INT32, weeknuminyear),
+            Column.from_strings("d_sellingseason", season),
+            Column("d_holidayfl", DataType.INT32, holiday),
+            Column("d_weekdayfl", DataType.INT32, weekdayfl),
+        ])
+
+    def _customer(self, rng: np.random.Generator) -> Table:
+        n = physical_rows("customer", self.scale_factor)
+        nation_idx = rng.integers(0, len(NATIONS), n)
+        digits = rng.integers(0, 10, n)
+        nations = [NATIONS[i] for i in nation_idx]
+        return Table("customer", [
+            Column("c_custkey", DataType.INT32, np.arange(1, n + 1, dtype=np.int32)),
+            Column.from_strings("c_name", [f"Customer#{i:09d}" for i in range(1, n + 1)]),
+            Column.from_strings(
+                "c_city", [_city(nat, d) for nat, d in zip(nations, digits)]
+            ),
+            Column.from_strings("c_nation", nations),
+            Column.from_strings("c_region", [REGIONS[i // 5] for i in nation_idx]),
+            Column.from_strings(
+                "c_mktsegment", [_SEGMENTS[i] for i in rng.integers(0, 5, n)]
+            ),
+        ])
+
+    def _supplier(self, rng: np.random.Generator) -> Table:
+        n = physical_rows("supplier", self.scale_factor)
+        nation_idx = rng.integers(0, len(NATIONS), n)
+        digits = rng.integers(0, 10, n)
+        nations = [NATIONS[i] for i in nation_idx]
+        return Table("supplier", [
+            Column("s_suppkey", DataType.INT32, np.arange(1, n + 1, dtype=np.int32)),
+            Column.from_strings("s_name", [f"Supplier#{i:09d}" for i in range(1, n + 1)]),
+            Column.from_strings(
+                "s_city", [_city(nat, d) for nat, d in zip(nations, digits)]
+            ),
+            Column.from_strings("s_nation", nations),
+            Column.from_strings("s_region", [REGIONS[i // 5] for i in nation_idx]),
+        ])
+
+    def _part(self, rng: np.random.Generator) -> Table:
+        n = physical_rows("part", self.scale_factor)
+        mfgr_idx = rng.integers(1, 6, n)
+        cat_idx = rng.integers(1, 6, n)
+        brand_idx = rng.integers(1, 41, n)
+        mfgr = [f"MFGR#{m}" for m in mfgr_idx]
+        category = [f"MFGR#{m}{c}" for m, c in zip(mfgr_idx, cat_idx)]
+        brand = [f"MFGR#{m}{c}{b}" for m, c, b in zip(mfgr_idx, cat_idx, brand_idx)]
+        return Table("part", [
+            Column("p_partkey", DataType.INT32, np.arange(1, n + 1, dtype=np.int32)),
+            Column.from_strings("p_name", [
+                f"{_COLORS[i % len(_COLORS)]} part" for i in rng.integers(0, 1 << 30, n)
+            ]),
+            Column.from_strings("p_mfgr", mfgr),
+            Column.from_strings("p_category", category),
+            Column.from_strings("p_brand1", brand),
+            Column.from_strings(
+                "p_color", [_COLORS[i] for i in rng.integers(0, len(_COLORS), n)]
+            ),
+            Column("p_size", DataType.INT32,
+                   rng.integers(1, 51, n).astype(np.int32)),
+            Column.from_strings(
+                "p_container",
+                [_CONTAINERS[i] for i in rng.integers(0, len(_CONTAINERS), n)],
+            ),
+        ])
+
+    # -- fact ---------------------------------------------------------------------
+
+    def _lineorder(
+        self,
+        rng: np.random.Generator,
+        date: Table,
+        customer: Table,
+        supplier: Table,
+        part: Table,
+    ) -> Table:
+        n = physical_rows("lineorder", self.scale_factor)
+        datekeys = date.column("d_datekey").values
+        orderdate = datekeys[rng.integers(0, len(datekeys), n)]
+        commit_offset = rng.integers(30, 90, n)
+        commitdate = datekeys[
+            np.minimum(
+                rng.integers(0, len(datekeys), n) + commit_offset, len(datekeys) - 1
+            )
+        ]
+        quantity = rng.integers(1, 51, n).astype(np.int32)
+        discount = rng.integers(0, 11, n).astype(np.int32)
+        price = rng.integers(900_00, 10_494_50, n).astype(np.int32) // 100
+        revenue = (price.astype(np.int64) * (100 - discount) // 100).astype(np.int32)
+        supplycost = (price.astype(np.int64) * 6 // 10).astype(np.int32)
+        return Table("lineorder", [
+            Column("lo_orderkey", DataType.INT64,
+                   np.arange(1, n + 1, dtype=np.int64) // 7 + 1),
+            Column("lo_linenumber", DataType.INT32,
+                   (np.arange(n, dtype=np.int32) % 7) + 1),
+            Column("lo_custkey", DataType.INT32,
+                   rng.integers(1, customer.num_rows + 1, n).astype(np.int32)),
+            Column("lo_partkey", DataType.INT32,
+                   rng.integers(1, part.num_rows + 1, n).astype(np.int32)),
+            Column("lo_suppkey", DataType.INT32,
+                   rng.integers(1, supplier.num_rows + 1, n).astype(np.int32)),
+            Column("lo_orderdate", DataType.DATE32, orderdate),
+            Column("lo_quantity", DataType.INT32, quantity),
+            Column("lo_extendedprice", DataType.INT32, price),
+            Column("lo_ordtotalprice", DataType.INT32,
+                   (price.astype(np.int64) * quantity % (2**31 - 1)).astype(np.int32)),
+            Column("lo_discount", DataType.INT32, discount),
+            Column("lo_revenue", DataType.INT32, revenue),
+            Column("lo_supplycost", DataType.INT32, supplycost),
+            Column("lo_tax", DataType.INT32, rng.integers(0, 9, n).astype(np.int32)),
+            Column("lo_commitdate", DataType.DATE32, commitdate),
+            Column.from_strings(
+                "lo_shipmode", [_SHIPMODES[i] for i in rng.integers(0, 7, n)]
+            ),
+        ])
+
+
+def generate_ssb(scale_factor: float = 0.01, seed: int = 42) -> dict[str, Table]:
+    """Generate all five SSB tables at a physical scale factor."""
+    return SSBGenerator(scale_factor=scale_factor, seed=seed).generate()

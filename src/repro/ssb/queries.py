@@ -1,0 +1,269 @@
+"""All 13 Star Schema Benchmark queries as logical plans.
+
+These are the workloads of the paper's Figures 4 and 5; query groups 1-4
+are the series of Figure 6.  Each builder mirrors the SSB SQL (given in
+each docstring) in the plan DSL: the fact table is always the probe side,
+dimension tables are the hash-join build sides, and dimension predicates
+are applied on the build side (the standard star-join optimisation; the
+paper's Proteus plans have the same shape via broadcast hash joins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..algebra.expressions import col
+from ..algebra.logical import OrderSpec, Plan, agg_sum, scan
+
+__all__ = ["SSB_QUERY_IDS", "QUERY_GROUP", "ssb_query", "ssb_queries"]
+
+SSB_QUERY_IDS = [
+    "Q1.1", "Q1.2", "Q1.3",
+    "Q2.1", "Q2.2", "Q2.3",
+    "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+    "Q4.1", "Q4.2", "Q4.3",
+]
+
+#: query id -> SSB flight (the paper's scalability groups)
+QUERY_GROUP = {qid: int(qid[1]) for qid in SSB_QUERY_IDS}
+
+
+def q1_1() -> Plan:
+    """SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+    FROM lineorder, date WHERE lo_orderdate = d_datekey
+    AND d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25.
+    """
+    return (
+        scan("lineorder",
+             ["lo_orderdate", "lo_quantity", "lo_discount", "lo_extendedprice"])
+        .filter(col("lo_discount").between(1, 3) & (col("lo_quantity") < 25))
+        .join(scan("date", ["d_datekey", "d_year"]).filter(col("d_year") == 1993),
+              probe_key="lo_orderdate", build_key="d_datekey", payload=[])
+        .reduce([agg_sum(col("lo_extendedprice") * col("lo_discount"), "revenue")])
+    )
+
+
+def q1_2() -> Plan:
+    """Q1.1 with d_yearmonthnum = 199401, discount 4..6, quantity 26..35."""
+    return (
+        scan("lineorder",
+             ["lo_orderdate", "lo_quantity", "lo_discount", "lo_extendedprice"])
+        .filter(col("lo_discount").between(4, 6)
+                & col("lo_quantity").between(26, 35))
+        .join(scan("date", ["d_datekey", "d_yearmonthnum"])
+              .filter(col("d_yearmonthnum") == 199401),
+              probe_key="lo_orderdate", build_key="d_datekey", payload=[])
+        .reduce([agg_sum(col("lo_extendedprice") * col("lo_discount"), "revenue")])
+    )
+
+
+def q1_3() -> Plan:
+    """Q1.1 with d_weeknuminyear = 6 AND d_year = 1994, discount 5..7,
+    quantity 26..35."""
+    return (
+        scan("lineorder",
+             ["lo_orderdate", "lo_quantity", "lo_discount", "lo_extendedprice"])
+        .filter(col("lo_discount").between(5, 7)
+                & col("lo_quantity").between(26, 35))
+        .join(scan("date", ["d_datekey", "d_weeknuminyear", "d_year"])
+              .filter((col("d_weeknuminyear") == 6) & (col("d_year") == 1994)),
+              probe_key="lo_orderdate", build_key="d_datekey", payload=[])
+        .reduce([agg_sum(col("lo_extendedprice") * col("lo_discount"), "revenue")])
+    )
+
+
+def _q2(part_predicate, supplier_region: str) -> Plan:
+    return (
+        scan("lineorder", ["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"])
+        .join(scan("part", ["p_partkey", "p_category", "p_brand1"])
+              .filter(part_predicate),
+              probe_key="lo_partkey", build_key="p_partkey", payload=["p_brand1"])
+        .join(scan("supplier", ["s_suppkey", "s_region"])
+              .filter(col("s_region") == supplier_region),
+              probe_key="lo_suppkey", build_key="s_suppkey", payload=[])
+        .join(scan("date", ["d_datekey", "d_year"]),
+              probe_key="lo_orderdate", build_key="d_datekey", payload=["d_year"])
+        .groupby(["d_year", "p_brand1"], [agg_sum(col("lo_revenue"), "revenue")])
+        .order_by("d_year", "p_brand1")
+    )
+
+
+def q2_1() -> Plan:
+    """SELECT SUM(lo_revenue), d_year, p_brand1 ... WHERE p_category =
+    'MFGR#12' AND s_region = 'AMERICA' GROUP BY d_year, p_brand1."""
+    return _q2(col("p_category") == "MFGR#12", "AMERICA")
+
+
+def q2_2() -> Plan:
+    """... WHERE p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228' AND s_region
+    = 'ASIA' (the string-inequality query DBMS G cannot run)."""
+    return _q2(col("p_brand1").between("MFGR#2221", "MFGR#2228"), "ASIA")
+
+
+def q2_3() -> Plan:
+    """... WHERE p_brand1 = 'MFGR#2221' AND s_region = 'EUROPE'."""
+    return _q2(col("p_brand1") == "MFGR#2221", "EUROPE")
+
+
+def _q3(customer_pred, supplier_pred, date_pred, group_keys) -> Plan:
+    c_cols = ["c_custkey"] + sorted(
+        customer_pred.columns() | {k for k in group_keys if k.startswith("c_")}
+    )
+    s_cols = ["s_suppkey"] + sorted(
+        supplier_pred.columns() | {k for k in group_keys if k.startswith("s_")}
+    )
+    d_cols = ["d_datekey", "d_year"] + sorted(
+        date_pred.columns() - {"d_year"}
+    )
+    c_payload = [k for k in group_keys if k.startswith("c_")]
+    s_payload = [k for k in group_keys if k.startswith("s_")]
+    return (
+        scan("lineorder", ["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"])
+        .join(scan("customer", sorted(set(c_cols))).filter(customer_pred),
+              probe_key="lo_custkey", build_key="c_custkey", payload=c_payload)
+        .join(scan("supplier", sorted(set(s_cols))).filter(supplier_pred),
+              probe_key="lo_suppkey", build_key="s_suppkey", payload=s_payload)
+        .join(scan("date", sorted(set(d_cols))).filter(date_pred),
+              probe_key="lo_orderdate", build_key="d_datekey", payload=["d_year"])
+        .groupby(list(group_keys), [agg_sum(col("lo_revenue"), "revenue")])
+        .order_by(OrderSpec("d_year", ascending=True),
+                  OrderSpec("revenue", ascending=False))
+    )
+
+
+def q3_1() -> Plan:
+    """SELECT c_nation, s_nation, d_year, SUM(lo_revenue) ... WHERE
+    c_region = 'ASIA' AND s_region = 'ASIA' AND d_year BETWEEN 1992 AND
+    1997 GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC,
+    revenue DESC."""
+    return _q3(
+        col("c_region") == "ASIA",
+        col("s_region") == "ASIA",
+        col("d_year").between(1992, 1997),
+        ["c_nation", "s_nation", "d_year"],
+    )
+
+
+def q3_2() -> Plan:
+    """c_nation = s_nation = 'UNITED STATES'; GROUP BY c_city, s_city,
+    d_year."""
+    return _q3(
+        col("c_nation") == "UNITED STATES",
+        col("s_nation") == "UNITED STATES",
+        col("d_year").between(1992, 1997),
+        ["c_city", "s_city", "d_year"],
+    )
+
+
+def q3_3() -> Plan:
+    """c_city/s_city IN ('UNITED KI1', 'UNITED KI5')."""
+    cities = ["UNITED KI1", "UNITED KI5"]
+    return _q3(
+        col("c_city").isin(cities),
+        col("s_city").isin(cities),
+        col("d_year").between(1992, 1997),
+        ["c_city", "s_city", "d_year"],
+    )
+
+
+def q3_4() -> Plan:
+    """Q3.3 restricted to d_yearmonth = 'Dec1997' (the most selective
+    flight-3 query; the paper notes CPUs beat GPUs here at SF1000)."""
+    cities = ["UNITED KI1", "UNITED KI5"]
+    return _q3(
+        col("c_city").isin(cities),
+        col("s_city").isin(cities),
+        col("d_yearmonth") == "Dec1997",
+        ["c_city", "s_city", "d_year"],
+    )
+
+
+def _q4(customer_pred, supplier_pred, part_pred, date_pred, group_keys,
+        c_payload, s_payload, p_payload) -> Plan:
+    plan = scan(
+        "lineorder",
+        ["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_partkey",
+         "lo_revenue", "lo_supplycost"],
+    )
+    c_cols = sorted({"c_custkey"} | customer_pred.columns() | set(c_payload))
+    s_cols = sorted({"s_suppkey"} | supplier_pred.columns() | set(s_payload))
+    p_cols = sorted({"p_partkey"} | part_pred.columns() | set(p_payload))
+    d_cols = sorted({"d_datekey", "d_year"} | date_pred.columns())
+    plan = plan.join(scan("customer", c_cols).filter(customer_pred),
+                     probe_key="lo_custkey", build_key="c_custkey",
+                     payload=c_payload)
+    plan = plan.join(scan("supplier", s_cols).filter(supplier_pred),
+                     probe_key="lo_suppkey", build_key="s_suppkey",
+                     payload=s_payload)
+    plan = plan.join(scan("part", p_cols).filter(part_pred),
+                     probe_key="lo_partkey", build_key="p_partkey",
+                     payload=p_payload)
+    plan = plan.join(scan("date", d_cols).filter(date_pred),
+                     probe_key="lo_orderdate", build_key="d_datekey",
+                     payload=["d_year"])
+    profit = agg_sum(col("lo_revenue") - col("lo_supplycost"), "profit")
+    return plan.groupby(list(group_keys), [profit]).order_by(*group_keys)
+
+
+def q4_1() -> Plan:
+    """SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+    ... WHERE c_region = 'AMERICA' AND s_region = 'AMERICA' AND p_mfgr IN
+    ('MFGR#1', 'MFGR#2') GROUP BY d_year, c_nation."""
+    return _q4(
+        col("c_region") == "AMERICA",
+        col("s_region") == "AMERICA",
+        col("p_mfgr").isin(["MFGR#1", "MFGR#2"]),
+        col("d_year") >= 0,  # no date predicate
+        ["d_year", "c_nation"],
+        c_payload=["c_nation"], s_payload=[], p_payload=[],
+    )
+
+
+def q4_2() -> Plan:
+    """Q4.1 restricted to d_year IN (1997, 1998), grouped by d_year,
+    s_nation, p_category."""
+    return _q4(
+        col("c_region") == "AMERICA",
+        col("s_region") == "AMERICA",
+        col("p_mfgr").isin(["MFGR#1", "MFGR#2"]),
+        col("d_year").isin([1997, 1998]),
+        ["d_year", "s_nation", "p_category"],
+        c_payload=[], s_payload=["s_nation"], p_payload=["p_category"],
+    )
+
+
+def q4_3() -> Plan:
+    """... WHERE c_region = 'AMERICA' AND s_nation = 'UNITED STATES' AND
+    d_year IN (1997, 1998) AND p_category = 'MFGR#14' GROUP BY d_year,
+    s_city, p_brand1 (the most selective SSB query)."""
+    return _q4(
+        col("c_region") == "AMERICA",
+        col("s_nation") == "UNITED STATES",
+        col("p_category") == "MFGR#14",
+        col("d_year").isin([1997, 1998]),
+        ["d_year", "s_city", "p_brand1"],
+        c_payload=[], s_payload=["s_city"], p_payload=["p_brand1"],
+    )
+
+
+_BUILDERS: dict[str, Callable[[], Plan]] = {
+    "Q1.1": q1_1, "Q1.2": q1_2, "Q1.3": q1_3,
+    "Q2.1": q2_1, "Q2.2": q2_2, "Q2.3": q2_3,
+    "Q3.1": q3_1, "Q3.2": q3_2, "Q3.3": q3_3, "Q3.4": q3_4,
+    "Q4.1": q4_1, "Q4.2": q4_2, "Q4.3": q4_3,
+}
+
+
+def ssb_query(query_id: str) -> Plan:
+    """Build one SSB query plan by id ('Q1.1' .. 'Q4.3')."""
+    try:
+        return _BUILDERS[query_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown SSB query {query_id!r}; valid ids: {SSB_QUERY_IDS}"
+        ) from None
+
+
+def ssb_queries() -> dict[str, Plan]:
+    """All 13 SSB plans, keyed by query id."""
+    return {qid: ssb_query(qid) for qid in SSB_QUERY_IDS}

@@ -1,0 +1,133 @@
+"""Star Schema Benchmark schema (O'Neil et al., TPCTC 2009).
+
+The SSB is the workload of the paper's entire evaluation (Figures 4-6).
+One fact table (``lineorder``) and four dimension tables (``date``,
+``customer``, ``supplier``, ``part``); row counts scale with the scale
+factor SF as in the specification:
+
+* lineorder: 6,000,000 x SF
+* customer:     30,000 x SF
+* supplier:      2,000 x SF
+* part:        200,000 x (1 + floor(log2 SF)); constant below SF 2
+* date:          2,556 (seven years, 1992-01-01 .. 1998-12-31)
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..storage.types import DATE32, INT32, INT64, STRING, ColumnType
+from ..storage.table import Schema
+
+__all__ = [
+    "LINEORDER",
+    "DATE",
+    "CUSTOMER",
+    "SUPPLIER",
+    "PART",
+    "SSB_SCHEMAS",
+    "REGIONS",
+    "NATIONS",
+    "MFGRS",
+    "rows_at_scale",
+]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: 25 nations, five per region (region = index // 5), SSB's fixed list.
+NATIONS = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",          # AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",         # AMERICA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",                # ASIA
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",       # EUROPE
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",                # MIDDLE EAST
+]
+
+MFGRS = [f"MFGR#{i}" for i in range(1, 6)]
+
+LINEORDER = Schema([
+    ColumnType("lo_orderkey", INT64),
+    ColumnType("lo_linenumber", INT32),
+    ColumnType("lo_custkey", INT32),
+    ColumnType("lo_partkey", INT32),
+    ColumnType("lo_suppkey", INT32),
+    ColumnType("lo_orderdate", DATE32),
+    ColumnType("lo_quantity", INT32),
+    ColumnType("lo_extendedprice", INT32),
+    ColumnType("lo_ordtotalprice", INT32),
+    ColumnType("lo_discount", INT32),
+    ColumnType("lo_revenue", INT32),
+    ColumnType("lo_supplycost", INT32),
+    ColumnType("lo_tax", INT32),
+    ColumnType("lo_commitdate", DATE32),
+    ColumnType("lo_shipmode", STRING),
+])
+
+DATE = Schema([
+    ColumnType("d_datekey", DATE32),
+    ColumnType("d_dayofweek", STRING),
+    ColumnType("d_month", STRING),
+    ColumnType("d_year", INT32),
+    ColumnType("d_yearmonthnum", INT32),
+    ColumnType("d_yearmonth", STRING),
+    ColumnType("d_daynuminweek", INT32),
+    ColumnType("d_daynuminmonth", INT32),
+    ColumnType("d_daynuminyear", INT32),
+    ColumnType("d_monthnuminyear", INT32),
+    ColumnType("d_weeknuminyear", INT32),
+    ColumnType("d_sellingseason", STRING),
+    ColumnType("d_holidayfl", INT32),
+    ColumnType("d_weekdayfl", INT32),
+])
+
+CUSTOMER = Schema([
+    ColumnType("c_custkey", INT32),
+    ColumnType("c_name", STRING),
+    ColumnType("c_city", STRING),
+    ColumnType("c_nation", STRING),
+    ColumnType("c_region", STRING),
+    ColumnType("c_mktsegment", STRING),
+])
+
+SUPPLIER = Schema([
+    ColumnType("s_suppkey", INT32),
+    ColumnType("s_name", STRING),
+    ColumnType("s_city", STRING),
+    ColumnType("s_nation", STRING),
+    ColumnType("s_region", STRING),
+])
+
+PART = Schema([
+    ColumnType("p_partkey", INT32),
+    ColumnType("p_name", STRING),
+    ColumnType("p_mfgr", STRING),
+    ColumnType("p_category", STRING),
+    ColumnType("p_brand1", STRING),
+    ColumnType("p_color", STRING),
+    ColumnType("p_size", INT32),
+    ColumnType("p_container", STRING),
+])
+
+SSB_SCHEMAS = {
+    "lineorder": LINEORDER,
+    "date": DATE,
+    "customer": CUSTOMER,
+    "supplier": SUPPLIER,
+    "part": PART,
+}
+
+
+def rows_at_scale(table: str, scale_factor: float) -> int:
+    """SSB row count of ``table`` at a (possibly fractional) scale factor."""
+    if table == "lineorder":
+        return max(1, int(6_000_000 * scale_factor))
+    if table == "customer":
+        return max(1, int(30_000 * scale_factor))
+    if table == "supplier":
+        return max(1, int(2_000 * scale_factor))
+    if table == "part":
+        factor = 1 + int(math.log2(scale_factor)) if scale_factor >= 2 else 1
+        return 200_000 * factor
+    if table == "date":
+        return 2_556
+    raise KeyError(f"unknown SSB table {table!r}")

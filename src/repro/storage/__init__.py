@@ -1,0 +1,23 @@
+"""Columnar storage: types, columns, tables, catalog, placement."""
+
+from .catalog import Catalog
+from .column import Column, StringDictionary
+from .table import Placement, Schema, Segment, Table
+from .types import DATE32, FLOAT64, INT32, INT64, STRING, ColumnType, DataType
+
+__all__ = [
+    "DataType",
+    "ColumnType",
+    "INT32",
+    "INT64",
+    "FLOAT64",
+    "STRING",
+    "DATE32",
+    "Column",
+    "StringDictionary",
+    "Schema",
+    "Table",
+    "Segment",
+    "Placement",
+    "Catalog",
+]

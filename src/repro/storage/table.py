@@ -1,0 +1,126 @@
+"""Tables, schemas and memory-node placement of column segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .column import Column
+from .types import ColumnType, DataType
+
+__all__ = ["Schema", "Table", "Segment", "Placement"]
+
+
+class Schema:
+    """An ordered collection of named, typed columns."""
+
+    def __init__(self, columns: Iterable[ColumnType]):
+        self.columns = list(columns)
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise ValueError("duplicate column names in schema")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> ColumnType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown column {name!r}; schema has {[c.name for c in self.columns]}"
+            ) from None
+
+    def dtype(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({', '.join(str(c) for c in self.columns)})"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous row range of a table resident on one memory node.
+
+    This is what the paper's *segmenter* operator iterates over: "the
+    segmenter will split the input file into small block-shaped partitions".
+    """
+
+    table: str
+    row_start: int
+    row_stop: int
+    node_id: str
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+
+@dataclass
+class Placement:
+    """Where a table's rows live across the server's memory nodes."""
+
+    segments: list[Segment]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(s.num_rows for s in self.segments)
+
+    def nodes(self) -> set[str]:
+        return {s.node_id for s in self.segments}
+
+
+class Table:
+    """A named columnar table."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns in table {name!r}: lengths {lengths}")
+        self.name = name
+        self.columns = {c.name: c for c in columns}
+        if len(self.columns) != len(columns):
+            raise ValueError(f"duplicate column names in table {name!r}")
+        self.num_rows = lengths.pop()
+        self.schema = Schema(ColumnType(c.name, c.dtype) for c in columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self.columns)}"
+            ) from None
+
+    def column_bytes(self, names: Optional[Iterable[str]] = None) -> int:
+        names = list(names) if names is not None else list(self.columns)
+        return sum(self.column(n).nbytes for n in names)
+
+    def row(self, index: int) -> dict:
+        """One row as a dict (decoded strings); for debugging and tests."""
+        out = {}
+        for name, col in self.columns.items():
+            value = col.values[index]
+            if col.dictionary is not None:
+                out[name] = col.dictionary.decode(int(value))
+            else:
+                out[name] = value.item() if isinstance(value, np.generic) else value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Table {self.name} rows={self.num_rows} cols={len(self.columns)}>"

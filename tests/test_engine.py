@@ -1,0 +1,198 @@
+"""Integration tests for the executor and the Proteus facade."""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionConfig, OrderSpec, Proteus, agg_count, agg_sum, col, scan
+from repro.engine.executor import QueryError
+from repro.engine.reference import ReferenceExecutor
+from repro.hardware.specs import ServerSpec
+from repro.storage import Column, DataType, Table
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def tables():
+    rng = np.random.default_rng(11)
+    fact = Table("fact", [
+        Column.from_values("k", DataType.INT32, rng.integers(0, 500, N)),
+        Column.from_values("k2", DataType.INT32, rng.integers(0, 50, N)),
+        Column.from_values("v", DataType.INT64, rng.integers(0, 1000, N)),
+        Column.from_values("w", DataType.INT32, rng.integers(0, 100, N)),
+    ])
+    dim = Table("dim", [
+        Column.from_values("dk", DataType.INT32, np.arange(500)),
+        Column.from_values("g", DataType.INT32, np.arange(500) % 9),
+        Column.from_strings("name", [f"g{i % 9}" for i in range(500)]),
+    ])
+    dim2 = Table("dim2", [
+        Column.from_values("ek", DataType.INT32, np.arange(50)),
+        Column.from_values("h", DataType.INT32, np.arange(50) % 4),
+    ])
+    return {"fact": fact, "dim": dim, "dim2": dim2}
+
+
+def _engine(tables, **kw):
+    engine = Proteus(segment_rows=4096, **kw)
+    for table in tables.values():
+        engine.register(table)
+    return engine
+
+
+CONFIGS = [
+    ("cpu-1", ExecutionConfig.cpu_only(1, block_tuples=2048)),
+    ("cpu-8", ExecutionConfig.cpu_only(8, block_tuples=2048)),
+    ("gpu-1", ExecutionConfig.gpu_only([1], block_tuples=2048)),
+    ("gpu-2", ExecutionConfig.gpu_only([0, 1], block_tuples=2048)),
+    ("hybrid", ExecutionConfig.hybrid(6, [0, 1], block_tuples=2048)),
+    ("bare-cpu", ExecutionConfig.bare_cpu(block_tuples=2048)),
+    ("bare-gpu", ExecutionConfig.bare_gpu(0, block_tuples=2048)),
+]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS)
+def test_scalar_reduce_matches_reference(tables, label, config):
+    plan = (scan("fact", ["v", "w"])
+            .filter(col("w") < 50)
+            .reduce([agg_sum(col("v"), "total"), agg_count("n")]))
+    result = _engine(tables).query(plan, config)
+    expected = ReferenceExecutor(tables).scalar(plan)
+    assert result.value("total") == expected["total"]
+    assert result.value("n") == expected["n"]
+    assert result.seconds > 0
+
+
+@pytest.mark.parametrize("label,config", CONFIGS)
+def test_join_groupby_matches_reference(tables, label, config):
+    plan = (scan("fact", ["k", "k2", "v"])
+            .join(scan("dim", ["dk", "g"]).filter(col("dk") < 400),
+                  probe_key="k", build_key="dk", payload=["g"])
+            .join(scan("dim2", ["ek", "h"]),
+                  probe_key="k2", build_key="ek", payload=["h"])
+            .groupby(["g", "h"], [agg_sum(col("v"), "s"), agg_count("n")])
+            .order_by("g", "h"))
+    result = _engine(tables).query(plan, config)
+    expected = ReferenceExecutor(tables).execute(plan)
+    assert result.columns == ["g", "h", "s", "n"]
+    assert result.rows == expected
+
+
+def test_string_group_keys_are_decoded(tables):
+    plan = (scan("fact", ["k", "v"])
+            .join(scan("dim", ["dk", "name"]),
+                  probe_key="k", build_key="dk", payload=["name"])
+            .groupby(["name"], [agg_sum(col("v"), "s")])
+            .order_by("name"))
+    result = _engine(tables).query(plan, ExecutionConfig.cpu_only(4, block_tuples=2048))
+    assert [row[0] for row in result.rows] == sorted({f"g{i}" for i in range(9)})
+    assert result.rows == ReferenceExecutor(tables).execute(plan)
+
+
+def test_row_collection_plan(tables):
+    plan = (scan("fact", ["k", "v"])
+            .filter(col("v") > 995)
+            .join(scan("dim", ["dk", "name"]),
+                  probe_key="k", build_key="dk", payload=["name"]))
+    config = ExecutionConfig.hybrid(4, [0], block_tuples=2048)
+    result = _engine(tables).query(plan, config)
+    expected = ReferenceExecutor(tables).execute(plan)
+    assert sorted(result.rows) == sorted(expected)
+    assert result.columns == ["k", "v", "name"]
+
+
+def test_order_by_desc_and_limit(tables):
+    plan = (scan("fact", ["k", "v"])
+            .join(scan("dim", ["dk", "g"]), probe_key="k", build_key="dk",
+                  payload=["g"])
+            .groupby(["g"], [agg_sum(col("v"), "s")])
+            .order_by(OrderSpec("s", ascending=False))
+            .take(3))
+    result = _engine(tables).query(plan, ExecutionConfig.cpu_only(2, block_tuples=2048))
+    sums = [row[1] for row in result.rows]
+    assert len(sums) == 3
+    assert sums == sorted(sums, reverse=True)
+
+
+def test_profile_accounting(tables):
+    plan = (scan("fact", ["k", "v"])
+            .join(scan("dim", ["dk"]), probe_key="k", build_key="dk",
+                  payload=[])
+            .reduce([agg_sum(col("v"), "s")]))
+    engine = _engine(tables)
+    result = engine.query(plan, ExecutionConfig.gpu_only([0, 1], block_tuples=2048))
+    profile = result.profile
+    assert profile.kernels_launched > 0
+    assert profile.blocks_routed > 0
+    assert profile.bytes_transferred > 0       # CPU-resident data to GPUs
+    assert "gpu" in profile.device_stats
+    assert profile.device_stats["gpu"].tuples_in >= N
+    assert set(profile.phase_seconds) == {"build-ht0", "probe"}
+
+
+def test_hybrid_uses_both_device_types(tables):
+    plan = scan("fact", ["v"]).reduce([agg_sum(col("v"), "s")])
+    engine = _engine(tables)
+    result = engine.query(plan, ExecutionConfig.hybrid(8, [0, 1],
+                                                       block_tuples=1024))
+    stats = result.profile.device_stats
+    assert stats["cpu"].tuples_in > 0
+    assert stats["gpu"].tuples_in > 0
+    assert stats["cpu"].tuples_in + stats["gpu"].tuples_in == N
+
+
+def test_sequential_queries_on_one_engine(tables):
+    engine = _engine(tables)
+    config = ExecutionConfig.hybrid(4, [0], block_tuples=2048)
+    plan = scan("fact", ["v"]).reduce([agg_sum(col("v"), "s")])
+    first = engine.query(plan, config)
+    second = engine.query(plan, config)
+    assert first.value() == second.value()
+    # times are per-query deltas, not cumulative clocks
+    assert second.seconds == pytest.approx(first.seconds, rel=0.2)
+
+
+def test_gpu_state_memory_exhaustion_raises(tables):
+    """A hash table larger than device memory must fail loudly."""
+    engine = _engine(tables)
+    engine.catalog.set_logical_scale("dim", 2e6)  # dim HT -> far beyond 8 GB
+    plan = (scan("fact", ["k", "v"])
+            .join(scan("dim", ["dk", "g"]), probe_key="k", build_key="dk",
+                  payload=["g"])
+            .reduce([agg_sum(col("v"), "s")]))
+    with pytest.raises(QueryError, match="does not fit"):
+        engine.query(plan, ExecutionConfig.gpu_only([0], block_tuples=2048))
+
+
+def test_empty_filter_result(tables):
+    plan = (scan("fact", ["v", "w"])
+            .filter(col("w") > 10_000)
+            .reduce([agg_sum(col("v"), "s"), agg_count("n")]))
+    result = _engine(tables).query(plan, ExecutionConfig.hybrid(2, [0],
+                                                                block_tuples=2048))
+    assert result.value("s") == 0.0
+    assert result.value("n") == 0
+
+
+def test_custom_server_spec(tables):
+    spec = ServerSpec(num_sockets=2, cores_per_socket=4, num_gpus=4,
+                      gpus_per_socket=(2, 2))
+    engine = Proteus(spec=spec, segment_rows=4096)
+    for table in tables.values():
+        engine.register(table)
+    plan = scan("fact", ["v"]).reduce([agg_sum(col("v"), "s")])
+    result = engine.query(plan, ExecutionConfig.gpu_only([0, 1, 2, 3],
+                                                         block_tuples=2048))
+    assert result.value() == float(tables["fact"].column("v").values.sum())
+
+
+def test_pipeline_sources_inspection(tables):
+    engine = _engine(tables)
+    plan = (scan("fact", ["k", "v"])
+            .join(scan("dim", ["dk"]), probe_key="k", build_key="dk", payload=[])
+            .reduce([agg_sum(col("v"), "s")]))
+    sources = engine.pipeline_sources(plan, ExecutionConfig.hybrid(2, [0]))
+    assert any("gpu" in name for name in sources)
+    assert any("cpu" in name for name in sources)
+    gpu_source = next(s for n, s in sources.items() if "probe-gpu" in n)
+    assert "_atomic_add" in gpu_source or "_neighborhood_reduce" in gpu_source

@@ -1,0 +1,192 @@
+"""Unit and property tests for the expression layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import (
+    Between,
+    Comparison,
+    Literal,
+    Not,
+    UnboundStringComparison,
+    bind_strings,
+    col,
+    lit,
+)
+from repro.storage.column import StringDictionary
+
+
+def _env(**arrays):
+    return {k: np.asarray(v) for k, v in arrays.items()}
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        expr = (col("a") + 1) * col("b") - 2
+        env = _env(a=[1, 2], b=[10, 20])
+        assert list(expr.evaluate(env)) == [18, 58]
+
+    def test_comparisons(self):
+        env = _env(x=[1, 5, 9])
+        assert list((col("x") < 5).evaluate(env)) == [True, False, False]
+        assert list((col("x") >= 5).evaluate(env)) == [False, True, True]
+        assert list((col("x") == 5).evaluate(env)) == [False, True, False]
+        assert list((col("x") != 5).evaluate(env)) == [True, False, True]
+
+    def test_boolean_combinators(self):
+        env = _env(x=[1, 5, 9])
+        expr = (col("x") > 1) & (col("x") < 9)
+        assert list(expr.evaluate(env)) == [False, True, False]
+        expr = (col("x") == 1) | (col("x") == 9)
+        assert list(expr.evaluate(env)) == [True, False, True]
+        assert list((~(col("x") == 5)).evaluate(env)) == [True, False, True]
+
+    def test_between_is_inclusive(self):
+        env = _env(x=[1, 2, 3, 4])
+        assert list(col("x").between(2, 3).evaluate(env)) == [False, True, True, False]
+
+    def test_isin(self):
+        env = _env(x=[1, 2, 3])
+        assert list(col("x").isin([1, 3]).evaluate(env)) == [True, False, True]
+        with pytest.raises(ValueError):
+            col("x").isin([])
+
+    def test_missing_column_raises_helpfully(self):
+        with pytest.raises(KeyError, match="not in scope"):
+            col("nope").evaluate(_env(x=[1]))
+
+    def test_expressions_are_not_truthy(self):
+        with pytest.raises(TypeError, match="not truthy"):
+            bool(col("a") == 1)
+
+    def test_columns_set(self):
+        expr = (col("a") + col("b")).between(col("c"), 5)
+        assert expr.columns() == {"a", "b", "c"}
+
+
+class TestSourceGeneration:
+    def test_source_matches_evaluation(self):
+        expr = ((col("a") * 2 + col("b")) > 10) & ~(col("b") == 3)
+        env = _env(a=np.arange(8), b=np.arange(8)[::-1].copy())
+        source = expr.source(lambda name: f"c_{name}")
+        namespace = {"c_a": env["a"], "c_b": env["b"], "np": np}
+        assert np.array_equal(eval(source, namespace), expr.evaluate(env))
+
+    def test_unbound_string_literal_rejected_in_source(self):
+        expr = col("s") == "hello"
+        with pytest.raises(UnboundStringComparison):
+            expr.source(lambda n: n)
+
+    def test_unbound_string_literal_rejected_in_eval(self):
+        with pytest.raises(UnboundStringComparison):
+            (col("s") == "hello").evaluate(_env(s=[0]))
+
+
+class TestOpCounts:
+    def test_filter_counts(self):
+        counts = (col("a").between(1, 3) & (col("b") < 5)).op_counts()
+        assert counts.predicates == 3
+        assert counts.arithmetic == 0
+
+    def test_arith_counts(self):
+        counts = ((col("a") + 1) * col("b")).op_counts()
+        assert counts.arithmetic == 2
+
+    def test_isin_counts_one_per_member(self):
+        assert col("a").isin([1, 2, 3]).op_counts().predicates == 3
+
+
+class TestStringBinding:
+    WORDS = ["apple", "banana", "cherry", "damson", "elder"]
+
+    def _resolver(self):
+        dictionary = StringDictionary(self.WORDS)
+
+        def resolver(name):
+            return dictionary if name == "s" else None
+
+        return dictionary, resolver
+
+    def _codes(self):
+        dictionary, _ = self._resolver()
+        return np.array([dictionary.encode(w) for w in self.WORDS])
+
+    def test_equality_binds_to_code(self):
+        dictionary, resolver = self._resolver()
+        bound = bind_strings(col("s") == "cherry", resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        assert list(mask) == [w == "cherry" for w in self.WORDS]
+
+    def test_equality_with_absent_value_is_false(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(col("s") == "zzz", resolver)
+        value = bound.evaluate(_env(s=self._codes()))
+        assert not np.any(value)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    @pytest.mark.parametrize("pivot", ["banana", "bzzz", "a", "zzzz"])
+    def test_inequalities_match_string_semantics(self, op, pivot):
+        _, resolver = self._resolver()
+        expr = Comparison(op, col("s"), Literal(pivot))
+        bound = bind_strings(expr, resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        expected = [eval(f"w {op} pivot", {"w": w, "pivot": pivot})
+                    for w in self.WORDS]
+        assert list(mask) == expected
+
+    def test_flipped_comparison_normalised(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(Comparison("<", Literal("cherry"), col("s")), resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        assert list(mask) == [w > "cherry" for w in self.WORDS]
+
+    def test_between_matches_string_semantics(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(col("s").between("banana", "damson"), resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        assert list(mask) == ["banana" <= w <= "damson" for w in self.WORDS]
+
+    def test_between_with_absent_bounds(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(col("s").between("ba", "cz"), resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        assert list(mask) == ["ba" <= w <= "cz" for w in self.WORDS]
+
+    def test_isin_drops_absent_members(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(col("s").isin(["apple", "zzz", "elder"]), resolver)
+        mask = bound.evaluate(_env(s=self._codes()))
+        assert list(mask) == [w in ("apple", "elder") for w in self.WORDS]
+
+    def test_isin_all_absent_is_false(self):
+        _, resolver = self._resolver()
+        bound = bind_strings(col("s").isin(["zzz"]), resolver)
+        assert bound.evaluate(_env(s=self._codes())) is False
+
+    def test_non_string_parts_untouched(self):
+        _, resolver = self._resolver()
+        expr = (col("n") > 3) & (col("s") == "apple")
+        bound = bind_strings(expr, resolver)
+        env = _env(n=np.array([1, 10, 10, 1, 10]), s=self._codes())
+        assert list(bound.evaluate(env)) == [False, False, False, False, False]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    words=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=5),
+                   min_size=1, max_size=20),
+    pivot=st.text(alphabet="abcdef", min_size=1, max_size=5),
+    op=st.sampled_from(["<", "<=", ">", ">=", "=="]),
+)
+def test_string_binding_oracle(words, pivot, op):
+    """Bound integer predicates agree with Python string comparison."""
+    dictionary = StringDictionary(words)
+    codes = dictionary.encode_array(words)
+    bound = bind_strings(Comparison(op, col("s"), Literal(pivot)),
+                         lambda n: dictionary)
+    mask = bound.evaluate({"s": codes})
+    if isinstance(mask, bool):
+        mask = [mask] * len(words)
+    expected = [eval(f"w {op} p", {"w": w, "p": pivot}) for w in words]
+    assert list(mask) == expected

@@ -1,0 +1,86 @@
+"""Unit tests for the logical plan DSL and its validation."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.logical import (
+    LogicalJoin,
+    OrderSpec,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    scan,
+)
+from repro.algebra.logical import AggSpec
+
+
+class TestBuilders:
+    def test_scan_requires_columns(self):
+        with pytest.raises(ValueError):
+            scan("t", [])
+
+    def test_output_columns_flow(self):
+        plan = (scan("t", ["a", "b"])
+                .filter(col("a") > 1)
+                .project([("c", col("a") + col("b"))]))
+        # projection extends the tuple (liveness prunes dead columns later)
+        assert plan.output_columns() == ["a", "b", "c"]
+
+    def test_join_appends_payload(self):
+        plan = scan("f", ["k", "v"]).join(
+            scan("d", ["dk", "p", "q"]), probe_key="k", build_key="dk")
+        assert plan.output_columns() == ["k", "v", "p", "q"]
+
+    def test_join_explicit_empty_payload(self):
+        plan = scan("f", ["k"]).join(
+            scan("d", ["dk", "p"]), probe_key="k", build_key="dk", payload=[])
+        assert plan.output_columns() == ["k"]
+
+    def test_join_validates_keys(self):
+        with pytest.raises(ValueError, match="build key"):
+            scan("f", ["k"]).join(scan("d", ["dk"]), probe_key="k",
+                                  build_key="nope")
+        with pytest.raises(ValueError, match="probe key"):
+            scan("f", ["k"]).join(scan("d", ["dk"]), probe_key="nope",
+                                  build_key="dk")
+
+    def test_join_validates_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            scan("f", ["k"]).join(scan("d", ["dk"]), probe_key="k",
+                                  build_key="dk", payload=["ghost"])
+
+    def test_groupby_validates_keys(self):
+        with pytest.raises(ValueError, match="group keys"):
+            scan("t", ["a"]).groupby(["ghost"], [agg_sum(col("a"), "s")])
+
+    def test_groupby_output_columns(self):
+        plan = scan("t", ["a", "g"]).groupby(
+            ["g"], [agg_sum(col("a"), "s"), agg_count("n")])
+        assert plan.output_columns() == ["g", "s", "n"]
+
+    def test_reduce_output_columns(self):
+        plan = scan("t", ["a"]).reduce(
+            [agg_min(col("a"), "lo"), agg_max(col("a"), "hi")])
+        assert plan.output_columns() == ["lo", "hi"]
+
+    def test_agg_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            AggSpec("median", col("a"), "m")
+
+    def test_order_by_and_take_are_non_destructive(self):
+        base = scan("t", ["a"]).groupby([], [])  # degenerate but legal shape
+        ordered = base.order_by("a").take(5)
+        assert ordered.limit == 5
+        assert base.limit is None
+        assert ordered.order == [OrderSpec("a")]
+
+    def test_order_by_accepts_specs(self):
+        plan = scan("t", ["a"]).order_by(OrderSpec("a", ascending=False))
+        assert plan.order[0].ascending is False
+
+    def test_scans_enumerates_probe_side_first(self):
+        plan = (scan("fact", ["k1", "k2"])
+                .join(scan("d1", ["a"]), probe_key="k1", build_key="a")
+                .join(scan("d2", ["b"]), probe_key="k2", build_key="b"))
+        assert [s.table for s in plan.scans()] == ["fact", "d1", "d2"]

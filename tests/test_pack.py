@@ -1,0 +1,128 @@
+"""Unit and property tests for the pack / hash-pack operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pack import HashPacker, Packer
+
+
+class TestPacker:
+    def test_accumulates_until_full(self):
+        packer = Packer(block_tuples=5)
+        assert packer.push({"a": np.arange(3)}) == []
+        out = packer.push({"a": np.arange(3)})
+        assert len(out) == 1
+        assert list(out[0]["a"]) == [0, 1, 2, 0, 1]
+        assert packer.buffered == 1
+
+    def test_large_push_emits_multiple_blocks(self):
+        packer = Packer(block_tuples=4)
+        out = packer.push({"a": np.arange(10)})
+        assert [len(b["a"]) for b in out] == [4, 4]
+        assert packer.buffered == 2
+
+    def test_flush_emits_remainder(self):
+        packer = Packer(block_tuples=4)
+        packer.push({"a": np.arange(3)})
+        out = packer.flush()
+        assert len(out) == 1 and list(out[0]["a"]) == [0, 1, 2]
+        assert packer.flush() == []
+
+    def test_empty_push_ignored(self):
+        packer = Packer(block_tuples=4)
+        assert packer.push({}) == []
+        assert packer.push({"a": np.array([])}) == []
+
+    def test_ragged_batch_rejected(self):
+        packer = Packer(block_tuples=4)
+        with pytest.raises(ValueError, match="ragged"):
+            packer.push({"a": np.arange(2), "b": np.arange(3)})
+
+    def test_schema_change_rejected(self):
+        packer = Packer(block_tuples=10)
+        packer.push({"a": np.arange(2)})
+        with pytest.raises(ValueError, match="schema"):
+            packer.push({"b": np.arange(2)})
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            Packer(block_tuples=0)
+
+
+class TestHashPacker:
+    def test_one_block_per_hash_value(self):
+        packer = HashPacker(partitions=4, block_tuples=3)
+        out = []
+        out += packer.push(1, {"a": np.arange(2)})
+        out += packer.push(2, {"a": np.arange(2)})
+        out += packer.push(1, {"a": np.arange(2)})  # partition 1 fills (4>3)
+        assert len(out) == 1
+        partition, block = out[0]
+        assert partition == 1 and len(block["a"]) == 3
+
+    def test_flush_returns_all_partitions(self):
+        packer = HashPacker(partitions=3, block_tuples=10)
+        packer.push(0, {"a": np.arange(1)})
+        packer.push(2, {"a": np.arange(2)})
+        flushed = packer.flush()
+        assert [p for p, _ in flushed] == [0, 2]
+        assert [len(b["a"]) for _, b in flushed] == [1, 2]
+
+    def test_out_of_range_partition_rejected(self):
+        packer = HashPacker(partitions=2, block_tuples=4)
+        with pytest.raises(ValueError):
+            packer.push(2, {"a": np.arange(1)})
+        with pytest.raises(ValueError):
+            packer.push(-1, {"a": np.arange(1)})
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batch_sizes=st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                         max_size=20),
+    block_tuples=st.integers(min_value=1, max_value=32),
+)
+def test_pack_roundtrip_preserves_tuples(batch_sizes, block_tuples):
+    """Blocks concatenated in order == input concatenated in order, and
+    every emitted block except the flush remainder is exactly full."""
+    packer = Packer(block_tuples=block_tuples)
+    blocks = []
+    expected = []
+    counter = 0
+    for size in batch_sizes:
+        values = np.arange(counter, counter + size)
+        counter += size
+        expected.extend(values)
+        blocks.extend(packer.push({"v": values}))
+    full_blocks = len(blocks)
+    blocks.extend(packer.flush())
+    got = [v for block in blocks for v in block["v"]]
+    assert got == expected
+    for block in blocks[:full_blocks]:
+        assert len(block["v"]) == block_tuples
+    for block in blocks[full_blocks:]:
+        assert 1 <= len(block["v"]) <= block_tuples
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    tuples=st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers()), min_size=0, max_size=200),
+    block_tuples=st.integers(min_value=1, max_value=16),
+)
+def test_hash_pack_invariant(tuples, block_tuples):
+    """The hash-pack invariant: every emitted block is single-partition,
+    and per-partition order is preserved."""
+    packer = HashPacker(partitions=8, block_tuples=block_tuples)
+    emitted = []
+    for partition, value in tuples:
+        emitted.extend(packer.push(partition, {"v": np.array([value])}))
+    emitted.extend(packer.flush())
+    per_partition: dict[int, list[int]] = {}
+    for partition, block in emitted:
+        per_partition.setdefault(partition, []).extend(block["v"])
+    expected: dict[int, list[int]] = {}
+    for partition, value in tuples:
+        expected.setdefault(partition, []).append(value)
+    assert per_partition == expected

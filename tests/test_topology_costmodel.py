@@ -1,0 +1,157 @@
+"""Unit tests for server topology and the cost model."""
+
+import pytest
+
+from repro.hardware.costmodel import (
+    CYCLES,
+    DBMS_C_TUNING,
+    DBMS_G_TUNING,
+    PROTEUS_TUNING,
+    BlockStats,
+    CostModel,
+)
+from repro.hardware.sim import Simulator
+from repro.hardware.specs import PAPER_SERVER, ServerSpec
+from repro.hardware.topology import DeviceType, Server
+
+
+class TestSpecs:
+    def test_paper_server_shape(self):
+        spec = PAPER_SERVER
+        assert spec.total_cores == 24
+        assert spec.num_gpus == 2
+        assert spec.aggregate_pcie_bandwidth == pytest.approx(24e9)
+        assert spec.aggregate_gpu_memory == pytest.approx(16e9)
+
+    def test_gpus_per_socket_validation(self):
+        with pytest.raises(ValueError):
+            ServerSpec(gpus_per_socket=(2, 1))
+        with pytest.raises(ValueError):
+            ServerSpec(num_sockets=1, gpus_per_socket=(1, 1))
+
+    def test_scaled_override(self):
+        spec = PAPER_SERVER.scaled(num_gpus=4, gpus_per_socket=(2, 2))
+        assert spec.num_gpus == 4
+        assert PAPER_SERVER.num_gpus == 2  # original untouched
+
+
+class TestTopology:
+    def _server(self):
+        return Server.paper_machine(Simulator())
+
+    def test_construction(self):
+        server = self._server()
+        assert len(server.cores) == 24
+        assert len(server.gpus) == 2
+        assert set(server.memory_nodes) == {"cpu:0", "cpu:1", "gpu:0", "gpu:1"}
+        assert server.gpus[0].socket_id == 0
+        assert server.gpus[1].socket_id == 1
+
+    def test_socket_of(self):
+        server = self._server()
+        assert server.socket_of("cpu:1") == 1
+        assert server.socket_of("gpu:0") == 0
+
+    def test_links_on_path(self):
+        server = self._server()
+        assert server.links_on_path("cpu:0", "cpu:1") == []
+        assert [l.gpu_id for l in server.links_on_path("cpu:0", "gpu:0")] == [0]
+        assert sorted(l.gpu_id for l in
+                      server.links_on_path("gpu:0", "gpu:1")) == [0, 1]
+        assert server.links_on_path("gpu:0", "gpu:0") == []
+
+    def test_dram_on_path(self):
+        server = self._server()
+        assert [n.node_id for n in server.dram_on_path("cpu:0", "gpu:1")] == ["cpu:0"]
+        # GPU peer transfers stage through the source GPU's host socket
+        assert [n.node_id for n in server.dram_on_path("gpu:1", "gpu:0")] == ["cpu:1"]
+
+    def test_memory_node_capacity(self):
+        server = self._server()
+        node = server.memory_nodes["gpu:0"]
+        node.allocate(7e9)
+        with pytest.raises(MemoryError):
+            node.allocate(2e9)
+        node.free(7e9)
+        node.allocate(2e9)
+
+    def test_custom_topology(self):
+        spec = ServerSpec(num_sockets=2, cores_per_socket=8, num_gpus=4,
+                          gpus_per_socket=(2, 2))
+        server = Server(Simulator(), spec)
+        assert len(server.cores) == 16
+        assert len(server.gpus) == 4
+        assert server.sockets[0].gpu_ids == [0, 1]
+
+
+class TestCostModel:
+    def _stats(self, **kw):
+        defaults = dict(tuples_in=1_000_000, bytes_in=16_000_000,
+                        bytes_out=0, random_accesses=0, random_bytes=0,
+                        cpu_cycles=5_000_000, gpu_ops=2_000_000)
+        defaults.update(kw)
+        return BlockStats(**defaults)
+
+    def test_cpu_work_memory_bound(self):
+        model = CostModel(PAPER_SERVER)
+        req = model.cpu_block_work(self._stats())
+        assert req.work_bytes == pytest.approx(16_000_000)
+        assert req.rate_cap == pytest.approx(PAPER_SERVER.core_stream_bandwidth)
+
+    def test_cpu_work_compute_bound_lowers_rate(self):
+        model = CostModel(PAPER_SERVER)
+        req = model.cpu_block_work(self._stats(cpu_cycles=2e9))
+        compute_seconds = 2e9 / PAPER_SERVER.cpu_frequency_hz
+        assert req.min_duration == pytest.approx(compute_seconds)
+
+    def test_random_bytes_amplified_on_cpu(self):
+        model = CostModel(PAPER_SERVER)
+        base = model.cpu_block_work(self._stats())
+        noisy = model.cpu_block_work(self._stats(random_bytes=1_000_000))
+        amplification = PROTEUS_TUNING.cpu_random_amplification
+        assert noisy.work_bytes - base.work_bytes == pytest.approx(
+            1_000_000 * amplification)
+
+    def test_scale_multiplies_everything(self):
+        model = CostModel(PAPER_SERVER)
+        unit = model.cpu_block_work(self._stats(), scale=1.0)
+        scaled = model.cpu_block_work(self._stats(), scale=100.0)
+        assert scaled.work_bytes == pytest.approx(unit.work_bytes * 100)
+
+    def test_gpu_work_pays_kernel_launch(self):
+        model = CostModel(PAPER_SERVER)
+        req = model.gpu_block_work(self._stats())
+        assert req.setup_seconds == pytest.approx(
+            PAPER_SERVER.kernel_launch_seconds)
+
+    def test_dbms_g_occupancy_halves_bandwidth(self):
+        proteus = CostModel(PAPER_SERVER, PROTEUS_TUNING)
+        dbms_g = CostModel(PAPER_SERVER, DBMS_G_TUNING)
+        fast = proteus.gpu_block_work(self._stats())
+        slow = dbms_g.gpu_block_work(self._stats())
+        assert slow.min_duration > fast.min_duration * 1.8
+
+    def test_pageable_transfers_capped(self):
+        proteus = CostModel(PAPER_SERVER, PROTEUS_TUNING)
+        dbms_g = CostModel(PAPER_SERVER, DBMS_G_TUNING)
+        assert proteus.transfer_plan(1e9).link_rate_cap == pytest.approx(12e9)
+        assert dbms_g.transfer_plan(1e9).link_rate_cap == pytest.approx(5e9)
+
+    def test_dbms_c_dispatch_overhead(self):
+        proteus = CostModel(PAPER_SERVER, PROTEUS_TUNING)
+        dbms_c = CostModel(PAPER_SERVER, DBMS_C_TUNING)
+        stats = self._stats(cpu_cycles=5e9, bytes_in=0)
+        assert (dbms_c.cpu_block_work(stats).min_duration
+                > proteus.cpu_block_work(stats).min_duration)
+
+    def test_sum_pipeline_reaches_core_stream_rate(self):
+        """Figure 7 anchor: a sum pipeline must be memory-bound per core."""
+        model = CostModel(PAPER_SERVER)
+        tuples = 1 << 20
+        stats = BlockStats(
+            tuples_in=tuples, bytes_in=tuples * 8,
+            cpu_cycles=tuples * (CYCLES.unpack_per_tuple
+                                 + CYCLES.aggregate_update),
+        )
+        req = model.cpu_block_work(stats)
+        assert req.rate_cap == pytest.approx(PAPER_SERVER.core_stream_bandwidth)
