@@ -1,0 +1,136 @@
+"""Multi-query throughput: concurrent serving beats serial on one server.
+
+The scenario family the scheduler opens up: mixed SSB batches served
+concurrently on one shared simulated server.  The fast tier checks the
+headline claims — a mixed batch of 8+ SSB queries runs concurrently with
+solo-identical results, strictly higher aggregate throughput than serial
+execution of the same batch, and a >= 90 % pipeline-cache hit rate once
+the workload repeats.  The slow tier (``--runslow``) runs the saturation
+sweep and a closed-loop client scenario at a larger scale.
+"""
+
+import pytest
+
+from repro.engine.config import ExecutionConfig
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.scheduler import EngineServer
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+#: >= 8 mixed queries: every SSB flight, both repeated
+MIXED_BATCH = ["Q1.1", "Q2.1", "Q3.1", "Q4.1", "Q1.2", "Q2.2", "Q3.2", "Q4.2"]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.01, seed=42)
+
+
+def _configs(settings):
+    base = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
+    return [
+        base,
+        base.derive(cpu_workers=4, gpu_ids=(0, 1)),   # hybrid
+        base.derive(cpu_workers=0, gpu_ids=(0, 1)),   # gpu-only
+    ]
+
+
+def _serve_batch(tables, settings, queries, max_concurrent):
+    server = EngineServer(
+        segment_rows=settings.segment_rows, max_concurrent=max_concurrent
+    )
+    load_ssb(server.engine, tables=tables)
+    configs = _configs(settings)
+    for index, qid in enumerate(queries):
+        server.submit(ssb_query(qid), configs[index % len(configs)],
+                      name=f"{qid}#{index}")
+    report = server.run()
+    server.check_conservation()
+    return server, report
+
+
+class TestMixedBatchConcurrency:
+    """The acceptance scenario: 8 mixed SSB queries, one shared server."""
+
+    def test_concurrent_results_match_solo_reference(self, tables, settings):
+        _, report = _serve_batch(tables, settings, MIXED_BATCH,
+                                 max_concurrent=8)
+        assert len(report.completed) == len(MIXED_BATCH)
+        reference = ReferenceExecutor(tables)
+        for session in report.sessions:
+            qid = session.name.split("#")[0]
+            expected = reference.execute(ssb_query(qid))
+            assert sorted(session.result.rows) == sorted(expected), session.name
+
+    def test_concurrent_throughput_strictly_beats_serial(self, tables, settings):
+        _, concurrent = _serve_batch(tables, settings, MIXED_BATCH,
+                                     max_concurrent=8)
+        _, serial = _serve_batch(tables, settings, MIXED_BATCH,
+                                 max_concurrent=1)
+        print(f"\nconcurrent: {concurrent.makespan:.4f}s "
+              f"({concurrent.throughput_qps:.2f} q/s)  |  "
+              f"serial: {serial.makespan:.4f}s "
+              f"({serial.throughput_qps:.2f} q/s)")
+        assert concurrent.makespan < serial.makespan
+        assert concurrent.throughput_qps > serial.throughput_qps
+
+    def test_repeated_workload_hits_pipeline_cache(self, tables, settings):
+        """Serve the batch, then serve it twice more on the warm server:
+        the repeated rounds must run >= 90 % out of the pipeline cache."""
+        server, _ = _serve_batch(tables, settings, MIXED_BATCH,
+                                 max_concurrent=8)
+        stats = server.executor.pipeline_cache.stats
+        hits_before, misses_before = stats.hits, stats.misses
+        configs = _configs(settings)
+        for round_index in range(2):
+            for index, qid in enumerate(MIXED_BATCH):
+                server.submit(ssb_query(qid), configs[index % len(configs)],
+                              name=f"{qid}@r{round_index}")
+            server.run()
+        repeated_hits = stats.hits - hits_before
+        repeated_misses = stats.misses - misses_before
+        hit_rate = repeated_hits / max(1, repeated_hits + repeated_misses)
+        print(f"\nrepeated-workload cache: {repeated_hits} hits / "
+              f"{repeated_misses} misses (hit rate {hit_rate:.1%})")
+        assert hit_rate >= 0.90
+        server.check_conservation()
+
+
+@pytest.mark.slow
+class TestSaturationSweep:
+    """Throughput vs admitted concurrency: rises, then the shared DRAM
+    and PCIe resources saturate and the curve flattens."""
+
+    def test_throughput_rises_then_saturates(self, tables, settings):
+        batch = MIXED_BATCH * 3  # 24 queries
+        throughput = {}
+        for level in (1, 2, 4, 8, 16):
+            _, report = _serve_batch(tables, settings, batch,
+                                     max_concurrent=level)
+            throughput[level] = report.throughput_qps
+        print("\nconcurrency -> queries/s: " + ", ".join(
+            f"{level}: {qps:.2f}" for level, qps in throughput.items()))
+        assert throughput[2] > throughput[1]
+        assert throughput[4] > throughput[2]
+        assert throughput[16] >= throughput[8] * 0.8  # flat at saturation
+        # the sweep never trades correctness: ratios stay finite/positive
+        assert all(qps > 0 for qps in throughput.values())
+
+    def test_closed_loop_clients_saturate_gracefully(self, tables, settings):
+        server = EngineServer(
+            segment_rows=settings.segment_rows, max_concurrent=6
+        )
+        load_ssb(server.engine, tables=tables)
+        configs = _configs(settings)
+        flights = [["Q1.1", "Q2.1", "Q3.1", "Q4.1"],
+                   ["Q1.2", "Q2.2", "Q3.2", "Q4.2"],
+                   ["Q1.3", "Q2.3", "Q3.3", "Q3.4"]]
+        for client_index, qids in enumerate(flights):
+            server.spawn_client(
+                [ssb_query(qid) for qid in qids],
+                configs[client_index % len(configs)],
+                think_seconds=0.002,
+                name=f"client{client_index}",
+            )
+        report = server.run()
+        assert len(report.completed) == sum(len(f) for f in flights)
+        server.check_conservation()

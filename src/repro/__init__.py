@@ -24,7 +24,8 @@ Packages:
   placement;
 * :mod:`repro.storage`, :mod:`repro.memory` — columnar storage and the
   block/state memory managers;
-* :mod:`repro.engine` — the executor and the :class:`Proteus` facade;
+* :mod:`repro.engine` — the executor, the :class:`Proteus` facade, and
+  the multi-query :class:`EngineServer` (admission control + scheduling);
 * :mod:`repro.baselines` — the DBMS C / DBMS G proxies;
 * :mod:`repro.ssb` — the Star Schema Benchmark generator and queries.
 """
@@ -34,12 +35,15 @@ from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, sc
 from .engine.config import ExecutionConfig
 from .engine.proteus import Proteus
 from .engine.results import QueryResult
+from .engine.scheduler import EngineServer, ResourceBudget
 from .hardware.specs import PAPER_SERVER, ServerSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Proteus",
+    "EngineServer",
+    "ResourceBudget",
     "ExecutionConfig",
     "QueryResult",
     "ServerSpec",

@@ -58,6 +58,10 @@ class MemMove:
         self.transfers = 0
         self.bytes_moved = 0.0
         self.forwards = 0
+        #: staging slots acquired for in-flight transfers, per target node;
+        #: consumers return them via release_staged, and abort_outstanding
+        #: reclaims whatever a failed query's wedged consumers still hold
+        self._staged_outstanding: dict[str, int] = {}
 
     # -- producer half ------------------------------------------------------------
 
@@ -85,7 +89,35 @@ class MemMove:
         new_handle.transfer_done = done
         self.transfers += 1
         self.bytes_moved += handle.block.logical_bytes
+        self._staged_outstanding[target_node] = (
+            self._staged_outstanding.get(target_node, 0) + 1
+        )
         return new_handle
+
+    def release_staged(self, node_id: str) -> None:
+        """Consumer half's epilogue: return one staging slot to the arena.
+
+        Tolerant of an abort race: if the query was aborted and the slot
+        already reclaimed by :meth:`abort_outstanding`, this is a no-op
+        (the arena must not be over-released).
+        """
+        count = self._staged_outstanding.get(node_id, 0)
+        if count <= 0:
+            return
+        self._staged_outstanding[node_id] = count - 1
+        self.blocks.release(node_id)
+
+    def abort_outstanding(self) -> None:
+        """Reclaim every staging slot still held by in-flight transfers.
+
+        Called when the owning query dies: its wedged consumers will
+        never run their release epilogue, and the staging arenas are
+        shared with every other query on the server.  Idempotent.
+        """
+        for node_id, count in self._staged_outstanding.items():
+            if count > 0:
+                self.blocks.release(node_id, count)
+                self._staged_outstanding[node_id] = 0
 
     # -- the asynchronous DMA process ------------------------------------------------
 

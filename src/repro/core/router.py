@@ -24,11 +24,16 @@ Consumer queues are bounded, which yields the pull-style backpressure
 that lets heterogeneous consumers drain work proportionally to their
 throughput (the paper's hybrid configurations reach ~88.5 % of the summed
 CPU+GPU throughputs).
+
+Routers are fully re-entrant: every piece of routing state (round-robin
+and tie-break cursors, credit book-keeping, wake-up hooks) lives on the
+instance, never on the class or the module, so any number of queries can
+run their own routers on one shared simulator.  Each router carries the
+``query_id`` of the query that owns it for multi-query debugging.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -130,6 +135,7 @@ class Router:
         policy: str,
         broadcast: bool = False,
         name: str = "",
+        query_id: str = "",
     ):
         if policy not in RouterPolicy.ALL:
             raise RoutingError(f"unknown policy {policy!r}")
@@ -140,12 +146,20 @@ class Router:
         self.groups = groups
         self.policy = policy
         self.broadcast = broadcast
+        #: id of the owning query (multi-query runs tag every router)
+        self.query_id = query_id
         self.name = name or f"router-{producer.name}"
+        if query_id and not self.name.startswith(f"{query_id}:"):
+            self.name = f"{query_id}:{self.name}"
         self.input: Store = sim.store(
             capacity=4 * sum(g.dop for g in groups), name=f"{self.name}:in"
         )
-        self._rr = itertools.cycle(range(sum(g.dop for g in groups)))
-        self._tie_break = itertools.cycle(range(len(groups)))
+        # Plain per-instance cursors (NOT itertools.cycle objects, NOT
+        # class attributes): routing position must be private to this
+        # router and inspectable, or concurrent queries would perturb each
+        # other's round-robin distribution.
+        self._rr_index = 0
+        self._tie_index = 0
         self.routed_blocks = 0
         self._wakeup = None
         self._wire_queues()
@@ -270,7 +284,9 @@ class Router:
             index = handle.hash_value % len(self.targets)
             return self.targets[index]
         if self.policy == RouterPolicy.ROUND_ROBIN:
-            return self.targets[next(self._rr) % len(self.targets)]
+            index = self._rr_index % len(self.targets)
+            self._rr_index += 1
+            return self.targets[index]
         # LOAD_BALANCE: route to the group with the smallest expected
         # wait, estimated from observed completion rates.  Until a group
         # has completed ~2 blocks per worker, assume unit service time
@@ -296,7 +312,9 @@ class Router:
         tied = [g for g, w in zip(candidates, waits) if w <= best * (1 + 1e-9)]
         if len(tied) == 1:
             return tied[0], None
-        return tied[next(self._tie_break) % len(tied)], None
+        choice = tied[self._tie_index % len(tied)]
+        self._tie_index += 1
+        return choice, None
 
     def _least_loaded_instance(self, group: ConsumerGroup, handle: BlockHandle) -> int:
         # Device-resident blocks are pinned to their device: re-routing

@@ -9,11 +9,15 @@ Mirrors the paper's evaluated configurations:
   sequential pipeline on one CPU core or one GPU, no routers, no mem-moves
   (the GPU reads host memory through UVA, as in the paper's comparison
   point [36]).
+
+Configurations are frozen (hashable, safely shared across concurrent
+queries in a multi-query batch); :meth:`ExecutionConfig.derive` produces
+a modified copy for sweeps that vary one knob.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..hardware.topology import DeviceType
@@ -72,6 +76,10 @@ class ExecutionConfig:
         return cls(cpu_workers=0, gpu_ids=(gpu_id,), bare=True, **kw)
 
     # -- helpers ----------------------------------------------------------------
+
+    def derive(self, **overrides) -> "ExecutionConfig":
+        """A copy with selected fields replaced (re-validates invariants)."""
+        return replace(self, **overrides)
 
     @property
     def uses_cpu(self) -> bool:

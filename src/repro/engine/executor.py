@@ -18,6 +18,17 @@ the discrete-event simulator:
 
 Phases execute in order (hash-join builds before their probes); the
 query's simulated time is the DES clock advance across all phases.
+
+The executor is **re-entrant**: :meth:`Executor.execute_process` is a DES
+generator that carries *all* per-query state (the
+:class:`~repro.jit.pipeline.QueryState`, the operator-state handles, the
+phase networks) in locals, so a scheduler can interleave any number of
+queries on one shared simulator — routers, processes and stores are
+tagged with the owning query id.  :meth:`Executor.execute` is the legacy
+solo entry point: it wraps the process and drives the simulator to
+completion itself.  Compiled pipelines come from a shared
+:class:`~repro.jit.cache.PipelineCache` when one is configured, so
+repeated query shapes skip recompilation.
 """
 
 from __future__ import annotations
@@ -46,13 +57,20 @@ from ..engine.results import ExecutionProfile
 from ..hardware.costmodel import BlockStats, CostModel
 from ..hardware.sim import Simulator, Store
 from ..hardware.topology import DeviceType, Server
+from ..jit.cache import PipelineCache, stage_signature
 from ..jit.codegen import PipelineCompiler
 from ..jit.pipeline import CompiledPipeline, PipelineState, QueryState
 from ..memory.block import Block, BlockHandle
 from ..memory.managers import BlockManagerSet, MemoryManager
 from ..storage.catalog import Catalog
 
-__all__ = ["Executor", "RawExecution", "QueryError", "PREFETCH_DEPTH"]
+__all__ = [
+    "Executor",
+    "RawExecution",
+    "PlanCompilation",
+    "QueryError",
+    "PREFETCH_DEPTH",
+]
 
 #: how many blocks a consumer instance prefetches ahead of its compute
 PREFETCH_DEPTH = 2
@@ -92,6 +110,37 @@ class _PhaseRun:
 
 
 @dataclass
+class PlanCompilation:
+    """In-flight two-phase compilation (see :meth:`Executor.begin_compilation`).
+
+    ``pipelines`` holds the cache-resident entries fetched at creation;
+    ``missing`` the stages still to compile.  ``finish`` compiles them,
+    publishes the results to the shared cache, and returns the complete
+    stage-id -> pipeline map.
+    """
+
+    compiler: "PipelineCompiler"
+    pipelines: dict[int, "CompiledPipeline"]
+    missing: list
+
+    @property
+    def fresh_count(self) -> int:
+        """Stages whose compilation the caller must charge latency for."""
+        return len(self.missing)
+
+    def finish(self) -> dict[int, "CompiledPipeline"]:
+        for stage in self.missing:
+            pipeline = self.compiler.compile_fresh(stage)
+            if self.compiler.cache is not None:
+                key = stage_signature(stage, self.compiler.width)
+                if key is not None:
+                    self.compiler.cache.put(key, pipeline)
+            self.pipelines[stage.stage_id] = pipeline
+        self.missing = []
+        return self.pipelines
+
+
+@dataclass
 class RawExecution:
     """Executor output before result shaping (the engine decodes it)."""
 
@@ -112,6 +161,7 @@ class Executor:
         blocks: BlockManagerSet,
         cost: CostModel,
         logical_scale: float = 1.0,
+        pipeline_cache: Optional[PipelineCache] = None,
     ):
         self.sim = sim
         self.server = server
@@ -119,42 +169,176 @@ class Executor:
         self.blocks = blocks
         self.cost = cost
         self.logical_scale = logical_scale
+        #: shared compiled-pipeline cache (None disables caching)
+        self.pipeline_cache = pipeline_cache
         self.memory_managers = {
             node_id: MemoryManager(node)
             for node_id, node in server.memory_nodes.items()
         }
-        self._state_handles: list[tuple[MemoryManager, int]] = []
+        #: query id -> in-flight phase runs; diagnostics only (stall reports)
+        self._active: dict[str, list["_PhaseRun"]] = {}
 
     # -- public ---------------------------------------------------------------
 
-    def execute(self, plan: HetPlan, config: ExecutionConfig) -> RawExecution:
-        compiler = PipelineCompiler(widths=self._column_widths())
-        pipelines: dict[int, CompiledPipeline] = {}
-        for stage in plan.all_stages():
-            if not stage.is_source:
-                pipelines[stage.stage_id] = compiler.compile_stage(stage)
+    def compile_plan(self, plan: HetPlan) -> dict[int, CompiledPipeline]:
+        """Compile every non-source stage, consulting the shared cache."""
+        compiler = PipelineCompiler(
+            widths=self._column_widths(), cache=self.pipeline_cache
+        )
+        return {
+            stage.stage_id: compiler.compile_stage(stage)
+            for stage in plan.all_stages()
+            if not stage.is_source
+        }
 
-        query_state = QueryState()
+    def begin_compilation(self, plan: HetPlan) -> "PlanCompilation":
+        """Two-phase compilation for schedulers charging compile latency.
+
+        Cache-resident pipelines are fetched (and thereby pinned — a
+        concurrent eviction cannot invalidate them) *now*; the remaining
+        stages are compiled by :meth:`PlanCompilation.finish` after the
+        caller has charged their simulated compile latency.  Freshly
+        compiled pipelines enter the shared cache only at ``finish``, so
+        a concurrently admitted identical query cannot observe a
+        compilation that has not completed in simulated time.  Hit/miss
+        statistics are counted exactly once per stage.
+        """
+        compiler = PipelineCompiler(
+            widths=self._column_widths(), cache=self.pipeline_cache
+        )
+        resident: dict[int, CompiledPipeline] = {}
+        missing: list = []
+        for stage in plan.all_stages():
+            if stage.is_source:
+                continue
+            cached = None
+            if self.pipeline_cache is not None:
+                key = stage_signature(stage, compiler.width)
+                if key is not None:
+                    cached = self.pipeline_cache.get(key)
+            if cached is not None:
+                resident[stage.stage_id] = cached
+            else:
+                missing.append(stage)
+        return PlanCompilation(compiler, resident, missing)
+
+    def execute(self, plan: HetPlan, config: ExecutionConfig,
+                query_id: str = "q0") -> RawExecution:
+        """Solo entry point: run one query to completion on an idle simulator.
+
+        Schedulers interleaving several queries use
+        :meth:`execute_process` directly and drive the simulator once for
+        the whole batch; this wrapper must not be called while the
+        simulator is already running.
+        """
+        gen = self.execute_process(plan, config, query_id=query_id)
+        proc = self.sim.process(gen, name=f"{query_id}:execute")
+        self.sim.run()
+        if not proc.triggered:
+            message = self.describe_stall(query_id)
+            gen.close()  # run the generator's finally: release state handles
+            raise QueryError(message)
+        if not proc.ok:
+            error = proc.value
+            if isinstance(error, QueryError):
+                raise error
+            raise QueryError(f"query {query_id} failed: {error!r}") from error
+        return proc.value
+
+    def execute_process(
+        self,
+        plan: HetPlan,
+        config: ExecutionConfig,
+        query_id: str = "q0",
+        pipelines: Optional[dict[int, CompiledPipeline]] = None,
+    ):
+        """DES process executing one query; returns a :class:`RawExecution`.
+
+        All mutable execution state is local to this generator (plus the
+        per-query ``QueryState``), so any number of these processes can be
+        interleaved on the shared simulator.  ``query_id`` must be unique
+        among concurrently running queries; it tags every router, store
+        and process the query creates.
+        """
+        if pipelines is None:
+            pipelines = self.compile_plan(plan)
+        query_state = QueryState(query_id=query_id)
+        state_handles: list[tuple[MemoryManager, int]] = []
         out = RawExecution()
         start = self.sim.now
+        current_wave: list["_PhaseRun"] = []
         try:
             for wave_index, wave in enumerate(self._waves(plan)):
                 wave_start = self.sim.now
                 runs = [
                     self._setup_phase(phase, config, pipelines, query_state,
-                                      out, first_wave=wave_index == 0)
+                                      out, first_wave=wave_index == 0,
+                                      query_id=query_id)
                     for phase in wave
                 ]
-                self.sim.run()
+                self._active[query_id] = runs
+                current_wave = runs
+                processes = [p for run in runs for p in run.processes]
+                try:
+                    yield self.sim.all_of(processes)
+                except QueryError:
+                    raise
+                # NOT BaseException: GeneratorExit must pass through so a
+                # scheduler can close() a stalled query and still run the
+                # cleanup in the finally below.
+                except Exception as error:
+                    failed = next(
+                        (p for p in processes if p.triggered and not p.ok),
+                        None,
+                    )
+                    name = failed.name if failed is not None else "?"
+                    raise QueryError(
+                        f"process {name} failed: {error!r}"
+                    ) from error
                 for run in runs:
-                    self._finalize_phase(run, query_state, out)
+                    self._finalize_phase(run, query_state, out, state_handles)
                     out.profile.phase_seconds[run.phase.name] = (
                         self.sim.now - wave_start
                     )
         finally:
-            self._release_state()
+            self._active.pop(query_id, None)
+            self._abort_wave(current_wave)
+            for manager, handle in state_handles:
+                manager.free(handle)
         out.profile.seconds = self.sim.now - start
         return out
+
+    def _abort_wave(self, runs: list["_PhaseRun"]) -> None:
+        """Tear down a wave the query will never finish.
+
+        A failed query leaves sibling processes parked on queues that
+        will never close, holding staging slots from the *shared* block
+        arenas.  Interrupt every survivor so it cannot resume (and
+        double-release), then reclaim the mem-move's outstanding staging
+        slots — once immediately (covers teardown after the simulator
+        drained) and once more after the interrupts have landed (covers
+        a consumer that was already scheduled to resume at this instant
+        and staged one more block before dying).  No-op for a wave that
+        completed cleanly.
+        """
+        for run in runs:
+            for proc in run.processes:
+                if proc.is_alive:
+                    proc.interrupt("query aborted")
+            run.mem_move.abort_outstanding()
+            self.sim._schedule_call(run.mem_move.abort_outstanding)
+
+    def describe_stall(self, query_id: str) -> str:
+        """Human-readable report of a query's never-finished processes."""
+        runs = self._active.get(query_id, [])
+        for run in runs:
+            stuck = [p.name for p in run.processes if not p.triggered]
+            if stuck:
+                return (
+                    f"phase {run.phase.name!r} deadlocked; process "
+                    f"{stuck[0]} never finished"
+                )
+        return f"query {query_id} deadlocked; no process report available"
 
     @staticmethod
     def _waves(plan: HetPlan) -> list[list[Phase]]:
@@ -184,11 +368,6 @@ class Executor:
             for name, column in table.columns.items():
                 widths[name] = column.width_bytes
         return widths
-
-    def _release_state(self) -> None:
-        for manager, handle in self._state_handles:
-            manager.free(handle)
-        self._state_handles.clear()
 
     def _instances_for(
         self,
@@ -242,7 +421,8 @@ class Executor:
         return created
 
     def _account_hash_tables(
-        self, created: list[tuple[str, str, float]], query_state: QueryState
+        self, created: list[tuple[str, str, float]], query_state: QueryState,
+        state_handles: list[tuple[MemoryManager, int]],
     ) -> None:
         """Charge built tables against device memory (logical bytes)."""
         from ..memory.managers import OutOfDeviceMemory
@@ -270,7 +450,7 @@ class Executor:
                 raise QueryError(
                     f"hash table {ht_id} does not fit on {node_id}: {err}"
                 ) from err
-            self._state_handles.append((manager, handle))
+            state_handles.append((manager, handle))
 
     # -- phase runner -----------------------------------------------------------
 
@@ -282,6 +462,7 @@ class Executor:
         query_state: QueryState,
         out: RawExecution,
         first_wave: bool = True,
+        query_id: str = "q0",
     ) -> "_PhaseRun":
         instance_map: dict[int, list[_Instance]] = {}
         for stage in phase.stages:
@@ -309,6 +490,7 @@ class Executor:
             routers[stage.stage_id] = Router(
                 self.sim, stage, groups, policy, broadcast=broadcast,
                 name=f"router-{phase.name}-{stage.name}",
+                query_id=query_id,
             )
 
         mem_move = MemMove(self.sim, self.server, self.blocks, self.cost)
@@ -332,7 +514,7 @@ class Executor:
                 processes.append(
                     self.sim.process(
                         self._source_proc(stage, router, config, init_delay),
-                        name=f"source-{stage.name}",
+                        name=f"{query_id}:source-{stage.name}",
                     )
                 )
                 continue
@@ -347,11 +529,12 @@ class Executor:
             )
             gpu2cpu = None
             if stage.device is DeviceType.GPU and out_router is not None:
-                gpu2cpu = Gpu2Cpu(self.sim, self.cost, name=f"gpu2cpu-{stage.name}")
+                gpu2cpu = Gpu2Cpu(self.sim, self.cost,
+                                  name=f"{query_id}:gpu2cpu-{stage.name}")
                 processes.append(
                     self.sim.process(
                         self._gpu2cpu_relay(gpu2cpu, out_router, tracker),
-                        name=f"relay-{stage.name}",
+                        name=f"{query_id}:relay-{stage.name}",
                     )
                 )
                 out.profile.kernels_launched += 0  # updated by workers
@@ -366,13 +549,13 @@ class Executor:
                     # (the mem-move producer half runs in the fetcher).
                     fetched = self.sim.store(
                         capacity=PREFETCH_DEPTH,
-                        name=f"fetch-{stage.name}-{instance.index}",
+                        name=f"{query_id}:fetch-{stage.name}-{instance.index}",
                     )
                     processes.append(
                         self.sim.process(
                             self._fetch_proc(queue, fetched, instance, edge,
                                              mem_move),
-                            name=f"fetch-{stage.name}-{instance.index}",
+                            name=f"{query_id}:fetch-{stage.name}-{instance.index}",
                         )
                     )
                     source = fetched
@@ -388,7 +571,7 @@ class Executor:
                             gpu2cpu, pipelines, phase_outputs, out, group,
                             mem_move,
                         ),
-                        name=f"worker-{stage.name}-{instance.index}",
+                        name=f"{query_id}:worker-{stage.name}-{instance.index}",
                     )
                 )
 
@@ -403,9 +586,12 @@ class Executor:
         )
 
     def _finalize_phase(self, run: "_PhaseRun", query_state: QueryState,
-                        out: RawExecution) -> None:
+                        out: RawExecution,
+                        state_handles: list[tuple[MemoryManager, int]]) -> None:
         phase = run.phase
         for proc in run.processes:
+            # The caller already waited on all_of(processes); these checks
+            # are a defensive net for direct/legacy invocations.
             if not proc.triggered:
                 raise QueryError(
                     f"phase {phase.name!r} deadlocked; process {proc.name} "
@@ -416,7 +602,7 @@ class Executor:
                     f"process {proc.name} failed: {proc.value!r}"
                 ) from proc.value
 
-        self._account_hash_tables(run.created_tables, query_state)
+        self._account_hash_tables(run.created_tables, query_state, state_handles)
 
         # Gather per-instance partials and accounting.
         for stage in phase.stages:
@@ -499,8 +685,8 @@ class Executor:
         pipelines: dict[int, CompiledPipeline],
         phase_outputs: list,
         out: RawExecution,
-        group=None,
-        mem_move: Optional[MemMove] = None,
+        group,
+        mem_move: MemMove,
     ):
         cpu2gpu = None
         if instance.device is DeviceType.GPU:
@@ -517,8 +703,7 @@ class Executor:
                 break
             current_scale = handle.block.logical_scale
             if (
-                mem_move is not None
-                and edge is not None
+                edge is not None
                 and edge.mem_move
                 and handle.transfer_done is None
                 and not self._accessible(handle, instance)
@@ -538,7 +723,10 @@ class Executor:
                     out.profile.kernels_launched + 1
                 )
             if handle.meta.get("staged"):
-                self.blocks.release(instance.node_id)
+                # via the mem-move (never blocks.release directly): the
+                # slot may already have been reclaimed by an abort, and
+                # release_staged absorbs that race
+                mem_move.release_staged(instance.node_id)
             if group is not None:
                 group.report_done(
                     instance.index if group.per_instance else None

@@ -32,6 +32,7 @@ from ..hardware.costmodel import CostModel, EngineTuning, PROTEUS_TUNING
 from ..hardware.sim import Simulator
 from ..hardware.specs import ServerSpec
 from ..hardware.topology import Server
+from ..jit.cache import PipelineCache
 from ..jit.pipeline import agg_identity, merge_agg
 from ..memory.managers import BlockManagerSet
 from ..storage.catalog import Catalog
@@ -45,7 +46,14 @@ __all__ = ["Proteus"]
 
 
 class Proteus:
-    """A heterogeneous analytical query engine on a simulated server."""
+    """A heterogeneous analytical query engine on a simulated server.
+
+    The engine keeps a :class:`~repro.jit.cache.PipelineCache` shared by
+    every query it runs: structurally repeated stages (the common case
+    for a dashboard re-issuing SSB queries) reuse the compiled pipeline
+    instead of recompiling.  Pass ``pipeline_cache_capacity=None`` to
+    disable caching entirely.
+    """
 
     def __init__(
         self,
@@ -53,6 +61,7 @@ class Proteus:
         tuning: EngineTuning = PROTEUS_TUNING,
         segment_rows: int = 1 << 20,
         logical_scale: float = 1.0,
+        pipeline_cache_capacity: Optional[int] = 128,
     ):
         self.sim = Simulator()
         self.server = Server(self.sim, spec or ServerSpec())
@@ -61,9 +70,17 @@ class Proteus:
         self.cost = CostModel(self.server.spec, tuning)
         self.logical_scale = logical_scale
         self.placer = HeterogeneousPlacer(self.server, self.catalog)
+        # `is not None`, not truthiness: capacity 0 must raise (inside
+        # PipelineCache), not silently disable caching.
+        self.pipeline_cache = (
+            PipelineCache(pipeline_cache_capacity)
+            if pipeline_cache_capacity is not None
+            else None
+        )
         self.executor = Executor(
             self.sim, self.server, self.catalog, self.blocks, self.cost,
             logical_scale=logical_scale,
+            pipeline_cache=self.pipeline_cache,
         )
 
     # -- data -----------------------------------------------------------------
@@ -92,6 +109,17 @@ class Proteus:
         het = self.placer.place(plan, config)
         raw = self.executor.execute(het, config)
         return self._collect(het.collect, raw)
+
+    def serve(self, **kwargs) -> "EngineServer":
+        """Wrap this engine in a multi-query :class:`EngineServer`.
+
+        The server shares this engine's simulator, catalog, block
+        managers and pipeline cache; see
+        :mod:`repro.engine.scheduler` for the serving semantics.
+        """
+        from .scheduler import EngineServer
+
+        return EngineServer(engine=self, **kwargs)
 
     # -- result shaping ("pipeline 2": the single-threaded collector) ---------------
 

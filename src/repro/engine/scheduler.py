@@ -1,0 +1,669 @@
+"""Concurrent multi-query serving: sessions, admission control, scheduling.
+
+The paper executes one query at a time on the heterogeneous server; a
+production deployment serves a *stream* of queries against shared sockets,
+GPUs and PCIe links.  This module adds that serving layer on top of the
+re-entrant executor:
+
+* a :class:`QuerySession` tracks one submitted query through its life
+  cycle (``queued`` -> ``running`` -> ``done``/``failed``) and records
+  queueing delay, service time and end-to-end latency in simulated time;
+* an :class:`EngineServer` owns one shared engine (simulator, server,
+  catalog, block managers, compiled-pipeline cache) and accepts a stream
+  of logical plans.  Admitted queries' phase networks interleave on the
+  one simulator — every router, worker and DMA of every in-flight query
+  contends for the same DRAM/HBM/PCIe bandwidth resources, which is
+  exactly how concurrent queries interfere on the real machine;
+* admission control charges each query's cost-model-estimated demand
+  (:meth:`~repro.hardware.costmodel.CostModel.admission_demand`) against a
+  shared :class:`ResourceBudget` before letting it run.  Queries are
+  admitted FIFO (head-of-line blocking is deliberate: it keeps admission
+  starvation-free); a query that could never fit even on an idle server
+  is rejected at submission;
+* repeated query shapes hit the executor's shared
+  :class:`~repro.jit.cache.PipelineCache`; a cache miss pays a simulated
+  compilation latency (:data:`DEFAULT_COMPILE_SECONDS` per pipeline), a
+  hit pays nothing — so a warmed server visibly serves repeated SSB
+  queries faster.
+
+Closed-loop clients are DES processes that submit a query, wait for its
+completion event, think, and submit the next one
+(:meth:`EngineServer.spawn_client`).  :meth:`EngineServer.run` drives the
+whole batch to completion and returns a :class:`BatchReport` with
+per-query latencies, aggregate throughput and cache statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..algebra.logical import Plan
+from ..algebra.physical import HetPlan, OpBuildSink
+from ..hardware.costmodel import QueryDemand
+from ..hardware.sim import Event
+from ..hardware.topology import DeviceType, Server
+from ..storage.table import Placement, Table
+from .config import ExecutionConfig
+from .executor import PREFETCH_DEPTH
+from .proteus import Proteus
+from .results import QueryResult
+
+__all__ = [
+    "EngineServer",
+    "QuerySession",
+    "ResourceBudget",
+    "BatchReport",
+    "AdmissionError",
+    "SchedulerError",
+    "DEFAULT_COMPILE_SECONDS",
+]
+
+#: simulated JIT compilation latency per freshly compiled pipeline (cache
+#: misses only).  The paper reports generation + compilation in the tens
+#: of milliseconds per pipeline; cache hits skip this entirely.
+DEFAULT_COMPILE_SECONDS = 25e-3
+
+#: budget dimensions — derived from QueryDemand so the two modules cannot
+#: silently diverge when a dimension is added or removed
+DIMENSIONS = tuple(QueryDemand().as_dict())
+
+
+class AdmissionError(RuntimeError):
+    """A query's estimated demand can never fit the server's budget."""
+
+
+class SchedulerError(RuntimeError):
+    """The batch stalled: a session can make no further progress."""
+
+
+class ResourceBudget:
+    """Shared multi-dimensional resource budget for admission control.
+
+    Capacities are upper bounds on the *sum of admitted queries'
+    estimated demands*, not a second simulation of the hardware — the
+    bandwidth sharing itself happens in the DES resources.  The budget
+    keeps conservation counters (total allocated / released per
+    dimension) so tests can assert that admission control neither leaks
+    nor double-frees.
+    """
+
+    def __init__(self, **capacities: float):
+        unknown = set(capacities) - set(DIMENSIONS)
+        if unknown:
+            raise ValueError(f"unknown budget dimensions: {sorted(unknown)}")
+        # Unspecified dimensions are UNLIMITED, not zero: a CPU-focused
+        # budget like ResourceBudget(cpu_cores=24) must not silently
+        # reject every query that has nonzero demand elsewhere.
+        self.capacity = {
+            dim: float(capacities.get(dim, math.inf)) for dim in DIMENSIONS
+        }
+        self.in_use = {dim: 0.0 for dim in DIMENSIONS}
+        self.peak = {dim: 0.0 for dim in DIMENSIONS}
+        self.total_allocated = {dim: 0.0 for dim in DIMENSIONS}
+        self.total_released = {dim: 0.0 for dim in DIMENSIONS}
+
+    @classmethod
+    def from_server(
+        cls,
+        server: Server,
+        pcie_window_seconds: float = 4.0,
+        gpu_oversubscription: float = 2.0,
+    ) -> "ResourceBudget":
+        """Derive a budget from the simulated server's spec.
+
+        GPUs are time-shared between kernels, so ``gpu_oversubscription``
+        queries may target the same device; the PCIe dimension caps the
+        PCIe-bound stream volume admitted at once to what the links can
+        move in ``pcie_window_seconds``.
+        """
+        spec = server.spec
+        dram = sum(
+            node.capacity_bytes
+            for node in server.memory_nodes.values()
+            if node.kind is DeviceType.CPU
+        )
+        hbm = sum(gpu.memory.capacity_bytes for gpu in server.gpus)
+        return cls(
+            dram_bytes=dram,
+            hbm_bytes=hbm,
+            pcie_bytes=spec.aggregate_pcie_bandwidth * pcie_window_seconds,
+            cpu_cores=len(server.cores),
+            gpu_units=len(server.gpus) * gpu_oversubscription,
+        )
+
+    # -- queries over the budget ------------------------------------------
+
+    def _tolerance(self, dim: str) -> float:
+        # Relative: byte-scale dimensions accumulate float rounding of a
+        # few ulps per allocate/release pair, which an absolute epsilon
+        # would miss at realistic (1e10+) scales.  Unlimited capacities
+        # are excluded from the scale, or the tolerance would be inf.
+        capacity = self.capacity[dim]
+        return 1e-9 * max(
+            1.0,
+            capacity if math.isfinite(capacity) else 0.0,
+            self.total_allocated[dim],
+        )
+
+    def fits(self, demand: QueryDemand) -> bool:
+        d = demand.as_dict()
+        return all(
+            self.in_use[dim] + d[dim] <= self.capacity[dim] + self._tolerance(dim)
+            for dim in DIMENSIONS
+        )
+
+    def can_ever_fit(self, demand: QueryDemand) -> bool:
+        d = demand.as_dict()
+        return all(
+            d[dim] <= self.capacity[dim] + self._tolerance(dim)
+            for dim in DIMENSIONS
+        )
+
+    def headroom(self) -> dict[str, float]:
+        return {
+            dim: self.capacity[dim] - self.in_use[dim] for dim in DIMENSIONS
+        }
+
+    # -- state changes -----------------------------------------------------
+
+    def allocate(self, demand: QueryDemand) -> None:
+        d = demand.as_dict()
+        for dim in DIMENSIONS:
+            self.in_use[dim] += d[dim]
+            self.total_allocated[dim] += d[dim]
+            self.peak[dim] = max(self.peak[dim], self.in_use[dim])
+
+    def release(self, demand: QueryDemand) -> None:
+        d = demand.as_dict()
+        for dim in DIMENSIONS:
+            self.in_use[dim] -= d[dim]
+            self.total_released[dim] += d[dim]
+            # snap float residue so an "empty" budget is exactly empty
+            if abs(self.in_use[dim]) <= self._tolerance(dim):
+                self.in_use[dim] = 0.0
+
+    def assert_conserved(self) -> None:
+        """Every allocated unit was released and nothing is outstanding."""
+        for dim in DIMENSIONS:
+            tolerance = self._tolerance(dim)
+            if abs(self.in_use[dim]) > tolerance:
+                raise AssertionError(
+                    f"budget dimension {dim} not drained: {self.in_use[dim]!r}"
+                )
+            if abs(self.total_allocated[dim] - self.total_released[dim]) > tolerance:
+                raise AssertionError(
+                    f"budget dimension {dim} not conserved: allocated "
+                    f"{self.total_allocated[dim]!r} != released "
+                    f"{self.total_released[dim]!r}"
+                )
+
+
+@dataclass
+class QuerySession:
+    """One submitted query's life cycle on the shared server."""
+
+    query_id: int
+    name: str
+    plan: Plan
+    config: ExecutionConfig
+    het: HetPlan
+    demand: QueryDemand
+    #: 'queued' -> 'running' -> 'done' | 'failed'
+    status: str = "queued"
+    submit_time: float = 0.0
+    admit_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    result: Optional[QueryResult] = None
+    error: Optional[BaseException] = None
+    #: pipelines freshly compiled (cache misses) for this session
+    compiled_fresh: int = 0
+    #: triggered when the session reaches a terminal state
+    done: Optional[Event] = None
+
+    @property
+    def tag(self) -> str:
+        return f"q{self.query_id}"
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.admit_time is None:
+            return None
+        return self.admit_time - self.submit_time
+
+    @property
+    def service_seconds(self) -> Optional[float]:
+        if self.finish_time is None or self.admit_time is None:
+            return None
+        return self.finish_time - self.admit_time
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :meth:`EngineServer.run` drive.
+
+    ``sessions`` (and the makespan/throughput/latency aggregates over
+    them) cover only the sessions that reached a terminal state during
+    *this* drive; ``cache`` is the pipeline cache's lifetime snapshot
+    (compute deltas across reports for per-batch cache behaviour).
+    """
+
+    sessions: list[QuerySession]
+    makespan: float
+    #: completed queries per simulated second over the makespan
+    throughput_qps: float
+    cache: dict[str, float] = field(default_factory=dict)
+    budget_peak: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> list[QuerySession]:
+        return [s for s in self.sessions if s.status == "done"]
+
+    @property
+    def failed(self) -> list[QuerySession]:
+        return [s for s in self.sessions if s.status == "failed"]
+
+    @property
+    def latencies(self) -> dict[str, float]:
+        """Latency per session, keyed by the unique session tag (names
+        are user-supplied and may repeat across resubmissions)."""
+        return {s.tag: s.latency for s in self.sessions if s.latency is not None}
+
+    @property
+    def mean_latency(self) -> float:
+        values = list(self.latencies.values())
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.completed)} done, {len(self.failed)} failed in "
+            f"{self.makespan:.4f}s simulated "
+            f"({self.throughput_qps:.2f} queries/s)",
+        ]
+        if self.cache:
+            lines.append(
+                f"pipeline cache: {self.cache.get('hits', 0)} hits / "
+                f"{self.cache.get('misses', 0)} misses "
+                f"(hit rate {self.cache.get('hit_rate', 0.0):.1%})"
+            )
+        for session in self.sessions:
+            mark = "ok" if session.status == "done" else session.status
+            lat = f"{session.latency:.4f}s" if session.latency is not None else "-"
+            lines.append(f"  {session.name:12s} {mark:7s} latency={lat}")
+        return "\n".join(lines)
+
+
+class EngineServer:
+    """A shared Proteus engine serving a concurrent stream of queries."""
+
+    def __init__(
+        self,
+        engine: Optional[Proteus] = None,
+        *,
+        budget: Optional[ResourceBudget] = None,
+        max_concurrent: int = 8,
+        compile_seconds: float = DEFAULT_COMPILE_SECONDS,
+        **engine_kwargs: Any,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if engine is not None and engine_kwargs:
+            raise ValueError(
+                f"engine kwargs {sorted(engine_kwargs)} have no effect when "
+                f"an existing engine is supplied; configure the Proteus "
+                f"instance instead"
+            )
+        self.engine = engine or Proteus(**engine_kwargs)
+        self.sim = self.engine.sim
+        self.server = self.engine.server
+        self.catalog = self.engine.catalog
+        self.executor = self.engine.executor
+        self.placer = self.engine.placer
+        self.cost = self.engine.cost
+        self.budget = budget or ResourceBudget.from_server(self.server)
+        self.max_concurrent = max_concurrent
+        self.compile_seconds = compile_seconds
+        self.sessions: list[QuerySession] = []
+        self._pending: deque[QuerySession] = deque()
+        self._running = 0
+        self._next_id = 0
+        self._reported_ids: set[int] = set()
+        self._clients: list = []
+        #: report of the most recent drive (also set when run() raises)
+        self.last_report: Optional[BatchReport] = None
+        self._admission_proc = None
+        self._admission_waiters: list[Event] = []
+        #: query id -> suspended _query_proc generator; closing it runs the
+        #: driver's finally exactly once (budget release, done event, and —
+        #: through yield-from delegation — the executor's state cleanup)
+        self._drivers: dict[int, Any] = {}
+
+    # -- data plane (delegates to the shared engine) -----------------------
+
+    def register(self, table: Table, placement: Optional[Placement] = None) -> None:
+        self.engine.register(table, placement)
+
+    def place_gpu_partitioned(self, name: str, seed: int = 0) -> None:
+        self.engine.place_gpu_partitioned(name, seed=seed)
+
+    def place_gpu_replicated(self, name: str) -> None:
+        self.engine.place_gpu_replicated(name)
+
+    def place_interleaved(self, name: str) -> None:
+        self.engine.place_interleaved(name)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, plan: Plan, config: ExecutionConfig,
+               name: Optional[str] = None) -> QuerySession:
+        """Queue a query for admission; callable before or during a run.
+
+        Raises :class:`AdmissionError` immediately when the estimated
+        demand exceeds the budget's total capacity (it could never run,
+        and FIFO admission would wedge every query behind it).
+        """
+        het = self.placer.place(plan, config)
+        demand = self._estimate_demand(het, config)
+        if not self.budget.can_ever_fit(demand):
+            raise AdmissionError(
+                f"query demand {demand.as_dict()} exceeds server budget "
+                f"{self.budget.capacity}"
+            )
+        session = QuerySession(
+            query_id=self._next_id,
+            name=name or f"q{self._next_id}",
+            plan=plan,
+            config=config,
+            het=het,
+            demand=demand,
+            submit_time=self.sim.now,
+            done=self.sim.event(name=f"q{self._next_id}:done"),
+        )
+        self._next_id += 1
+        self.sessions.append(session)
+        self._pending.append(session)
+        self._wake_admission()
+        return session
+
+    def submit_batch(
+        self, items: Sequence[tuple[Plan, ExecutionConfig]],
+        names: Optional[Sequence[str]] = None,
+    ) -> list[QuerySession]:
+        return [
+            self.submit(plan, config,
+                        name=names[i] if names else None)
+            for i, (plan, config) in enumerate(items)
+        ]
+
+    def spawn_client(self, plans: Sequence[Plan], config: ExecutionConfig,
+                     think_seconds: float = 0.0, name: str = "client"):
+        """Closed-loop client: submit, await completion, think, repeat.
+
+        A client that dies mid-loop (e.g. a later plan is rejected by
+        admission) is surfaced by the next :meth:`run` as a
+        :class:`SchedulerError` — its remaining queries were never
+        submitted and must not be mistaken for a completed workload.
+        """
+
+        def client():
+            for index, plan in enumerate(plans):
+                session = self.submit(plan, config, name=f"{name}-{index}")
+                yield session.done
+                if think_seconds:
+                    yield self.sim.timeout(think_seconds)
+
+        proc = self.sim.process(client(), name=f"client:{name}")
+        self._clients.append(proc)
+        return proc
+
+    # -- the scheduler ----------------------------------------------------
+
+    def run(self) -> BatchReport:
+        """Drive every submitted (and client-submitted) query to completion.
+
+        Raises :class:`SchedulerError` on a stalled batch or a dead
+        closed-loop client — cleanup (budget release, done events,
+        session consumption) still happens, and the drive's report
+        remains available as :attr:`last_report` so an aborted drive
+        never skews the next one's makespan or throughput.
+        """
+        self._ensure_admission()
+        self.sim.run()
+        try:
+            self._check_stalled()
+        finally:
+            self.last_report = self._report()
+        return self.last_report
+
+    def _ensure_admission(self) -> None:
+        if self._admission_proc is None or self._admission_proc.triggered:
+            self._admission_proc = self.sim.process(
+                self._admission(), name="admission-control"
+            )
+
+    def _admission(self):
+        """FIFO admission: wait for budget headroom, then launch queries."""
+        while True:
+            while not self._pending:
+                yield self._admission_event()
+            head = self._pending[0]
+            while (
+                self._running >= self.max_concurrent
+                or not self.budget.fits(head.demand)
+            ):
+                yield self._admission_event()
+            self._pending.popleft()
+            self.budget.allocate(head.demand)
+            head.status = "running"
+            head.admit_time = self.sim.now
+            self._running += 1
+            driver = self._query_proc(head)
+            self._drivers[head.query_id] = driver
+            self.sim.process(driver, name=f"{head.tag}:driver")
+
+    def _admission_event(self) -> Event:
+        event = self.sim.event(name="admission:wakeup")
+        self._admission_waiters.append(event)
+        return event
+
+    def _wake_admission(self) -> None:
+        waiters, self._admission_waiters = self._admission_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.trigger(None)
+
+    def _query_proc(self, session: QuerySession):
+        """DES driver for one admitted query: compile, execute, collect."""
+        try:
+            # Two-phase compilation: resident pipelines are pinned NOW
+            # (a concurrent eviction cannot invalidate them), fresh ones
+            # are compiled — and published to the shared cache — only
+            # after their simulated compile latency has elapsed, so a
+            # concurrently admitted identical query pays for its own
+            # compilation instead of free-riding on an unfinished one.
+            compilation = self.executor.begin_compilation(session.het)
+            session.compiled_fresh = compilation.fresh_count
+            if session.compiled_fresh and self.compile_seconds:
+                yield self.sim.timeout(
+                    session.compiled_fresh * self.compile_seconds
+                )
+            pipelines = compilation.finish()
+            raw = yield from self.executor.execute_process(
+                session.het, session.config,
+                query_id=session.tag, pipelines=pipelines,
+            )
+            session.result = self.engine._collect(session.het.collect, raw)
+            session.status = "done"
+        except Exception as error:
+            session.status = "failed"
+            session.error = error
+        finally:
+            self._drivers.pop(session.query_id, None)
+            session.finish_time = self.sim.now
+            self._running -= 1
+            self.budget.release(session.demand)
+            if session.done is not None and not session.done.triggered:
+                session.done.trigger(session)
+            self._wake_admission()
+
+    def _check_stalled(self) -> None:
+        """Detect (and clean up after) every failure mode of a drive.
+
+        ALL cleanup happens before anything is raised: a drive that has
+        both a dead client and a stuck session must still release the
+        stuck session's budget and trigger its done event.
+        """
+        problems: list[str] = []
+        stuck = [s for s in self.sessions if s.status == "running"]
+        if stuck:
+            details = "; ".join(
+                f"{s.name}: {self.executor.describe_stall(s.tag)}" for s in stuck
+            )
+            for session in stuck:
+                driver = self._drivers.pop(session.query_id, None)
+                if driver is not None:
+                    # The driver's finally is the ONLY cleanup path: it
+                    # releases the budget, decrements _running, triggers
+                    # the done event, and (via yield-from) frees the
+                    # executor's state handles — closing it here must not
+                    # be duplicated by manual book-keeping.
+                    driver.close()
+                session.status = "failed"
+                session.error = SchedulerError(details)
+            problems.append(f"batch stalled: {details}")
+        dead_clients = [p for p in self._clients if p.triggered and not p.ok]
+        if dead_clients:
+            self._clients = [p for p in self._clients if p not in dead_clients]
+            details = "; ".join(f"{p.name}: {p.value!r}" for p in dead_clients)
+            problems.append(
+                f"closed-loop client(s) died mid-loop (their remaining "
+                f"queries were never submitted): {details}"
+            )
+        queued = [s for s in self.sessions if s.status == "queued"]
+        if not problems and queued and self._running == 0:
+            names = [s.name for s in queued]
+            problems.append(
+                f"admission stalled with idle server; queued: {names}"
+            )
+        if problems:
+            raise SchedulerError("; ".join(problems))
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self) -> BatchReport:
+        finished = [
+            s for s in self.sessions
+            if s.finished and s.query_id not in self._reported_ids
+        ]
+        self._reported_ids.update(s.query_id for s in finished)
+        if finished:
+            first = min(s.submit_time for s in finished)
+            last = max(s.finish_time for s in finished)
+            makespan = last - first
+        else:
+            makespan = 0.0
+        completed = sum(1 for s in finished if s.status == "done")
+        throughput = completed / makespan if makespan > 0 else 0.0
+        cache = self.executor.pipeline_cache
+        return BatchReport(
+            sessions=finished,
+            makespan=makespan,
+            throughput_qps=throughput,
+            cache=cache.stats.snapshot() if cache else {},
+            budget_peak=dict(self.budget.peak),
+        )
+
+    def check_conservation(self) -> dict[str, float]:
+        """Assert resource accounting closed out; returns the totals.
+
+        Checks the admission budget (allocated == released, nothing in
+        use), that no operator-state allocation outlived its query on
+        any memory node, and that every staging-arena slot is either
+        free or parked in a remote cache (failed queries included).
+        """
+        self.budget.assert_conserved()
+        for node_id, manager in self.executor.memory_managers.items():
+            if manager.live_handles:
+                raise AssertionError(
+                    f"{manager.live_handles} state allocations leaked on "
+                    f"{node_id} ({manager.live_bytes:.3e} logical bytes)"
+                )
+        for node_id, leaked in self.engine.blocks.unaccounted_blocks().items():
+            if leaked:
+                raise AssertionError(
+                    f"{leaked} staging block(s) leaked on {node_id}"
+                )
+        totals = {
+            f"allocated:{dim}": self.budget.total_allocated[dim]
+            for dim in DIMENSIONS
+        }
+        totals.update(
+            {f"released:{dim}": self.budget.total_released[dim] for dim in DIMENSIONS}
+        )
+        return totals
+
+    # -- demand estimation -------------------------------------------------
+
+    def _estimate_demand(self, het: HetPlan, config: ExecutionConfig) -> QueryDemand:
+        """Cost-model demand estimate for one placed plan.
+
+        Streamed bytes come from the working set of every segmenter
+        source; state bytes from each build phase's key+payload columns
+        (plus the hash table's bucket overhead).  GPU configurations
+        whose probe inputs reside in host memory stream them over PCIe.
+        """
+        streamed = 0.0
+        state_bytes = 0.0
+        gpu_streaming = False
+        for phase in het.phases:
+            for stage in phase.source_stages():
+                table = stage.source.table
+                streamed += self.catalog.logical_bytes(table, stage.source.columns)
+                if config.uses_gpu and phase.produces_ht is None:
+                    placement = self.catalog.placement(table)
+                    for segment in placement.segments:
+                        node = self.server.memory_nodes[segment.node_id]
+                        if node.kind is DeviceType.CPU:
+                            gpu_streaming = True
+                            break
+            if phase.produces_ht is None:
+                continue
+            source = phase.source_stages()[0]
+            table = self.catalog.table(source.source.table)
+            sink = next(
+                (op for stage in phase.stages for op in stage.ops
+                 if isinstance(op, OpBuildSink)),
+                None,
+            )
+            if sink is None:
+                continue
+            columns = [
+                c for c in [sink.build_key, *sink.payload] if c in table.columns
+            ]
+            scale = self.catalog.logical_scale(table.name)
+            state_bytes += (
+                self.catalog.logical_bytes(table.name, columns)
+                + 16.0 * table.num_rows * scale  # bucket/next-pointer overhead
+            )
+        staging = self.engine.blocks.block_bytes * (PREFETCH_DEPTH + 2)
+        return self.cost.admission_demand(
+            streamed_bytes=streamed,
+            cpu_state_bytes=state_bytes if config.uses_cpu else 0.0,
+            gpu_state_bytes=state_bytes if config.uses_gpu else 0.0,
+            cpu_workers=config.cpu_workers,
+            gpu_units=len(config.gpu_ids),
+            gpu_streaming=gpu_streaming,
+            staging_bytes_per_worker=staging,
+        )

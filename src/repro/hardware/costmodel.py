@@ -38,7 +38,14 @@ from typing import Optional
 
 from .specs import ServerSpec
 
-__all__ = ["BlockStats", "WorkRequest", "TransferPlan", "EngineTuning", "CostModel"]
+__all__ = [
+    "BlockStats",
+    "WorkRequest",
+    "TransferPlan",
+    "QueryDemand",
+    "EngineTuning",
+    "CostModel",
+]
 
 _TINY = 1e-15
 
@@ -98,6 +105,37 @@ class TransferPlan:
     link_rate_cap: float
     dram_rate_cap: float
     setup_seconds: float
+
+
+@dataclass(frozen=True)
+class QueryDemand:
+    """Admission-control estimate of one query's peak shared-resource use.
+
+    Produced by :meth:`CostModel.admission_demand` before a query starts;
+    the multi-query scheduler charges it against a shared
+    :class:`~repro.engine.scheduler.ResourceBudget` and releases the exact
+    same amounts on completion (conservation is asserted by tests).
+    """
+
+    #: host DRAM held by operator state + staging (logical bytes)
+    dram_bytes: float = 0.0
+    #: GPU HBM held by per-device hash tables + staging (logical bytes)
+    hbm_bytes: float = 0.0
+    #: stream volume that must cross PCIe links (logical bytes)
+    pcie_bytes: float = 0.0
+    #: CPU worker threads the query pins
+    cpu_cores: int = 0
+    #: GPU devices the query launches kernels on
+    gpu_units: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dram_bytes": self.dram_bytes,
+            "hbm_bytes": self.hbm_bytes,
+            "pcie_bytes": self.pcie_bytes,
+            "cpu_cores": float(self.cpu_cores),
+            "gpu_units": float(self.gpu_units),
+        }
 
 
 @dataclass(frozen=True)
@@ -217,6 +255,48 @@ class CostModel:
             link_rate_cap=link_cap,
             dram_rate_cap=self.spec.socket_dram_bandwidth,
             setup_seconds=self.spec.dma_setup_seconds,
+        )
+
+    # -- admission control ---------------------------------------------------
+
+    def admission_demand(
+        self,
+        *,
+        streamed_bytes: float,
+        cpu_state_bytes: float = 0.0,
+        gpu_state_bytes: float = 0.0,
+        cpu_workers: int = 0,
+        gpu_units: int = 0,
+        gpu_streaming: bool = False,
+        staging_bytes_per_worker: float = 0.0,
+    ) -> QueryDemand:
+        """Estimate a query's peak demand on the shared server.
+
+        ``streamed_bytes`` is the logical working set the query scans;
+        ``*_state_bytes`` are the hash tables it builds per device domain
+        (the CPU domain builds one shared table, each GPU builds a private
+        copy); ``gpu_streaming`` means GPU consumers read host-resident
+        data, so the streamed working set crosses PCIe.  Materialising
+        engines (``materialize_factor`` > 1) hold proportionally more
+        intermediate state in DRAM.
+        """
+        t = self.tuning
+        dram = (
+            cpu_state_bytes * t.materialize_factor
+            + cpu_workers * staging_bytes_per_worker
+        )
+        hbm = 0.0
+        pcie = 0.0
+        if gpu_units:
+            hbm = gpu_units * (gpu_state_bytes + staging_bytes_per_worker)
+            if gpu_streaming:
+                pcie = streamed_bytes
+        return QueryDemand(
+            dram_bytes=dram,
+            hbm_bytes=hbm,
+            pcie_bytes=pcie,
+            cpu_cores=int(cpu_workers),
+            gpu_units=int(gpu_units),
         )
 
     # -- fixed overheads ----------------------------------------------------

@@ -1,5 +1,7 @@
-"""JIT infrastructure: providers, codegen, pipelines, hash-table kernels."""
+"""JIT infrastructure: providers, codegen, pipelines, the pipeline cache,
+and hash-table kernels."""
 
+from .cache import CacheStats, PipelineCache, stage_signature
 from .codegen import CodegenError, PipelineCompiler
 from .hashtable import DuplicateKeyError, HashTable, hash_int64
 from .pipeline import CompiledPipeline, PipelineState, QueryState, agg_identity, merge_agg
@@ -8,6 +10,9 @@ from .provider import CPUProvider, DeviceProvider, GPUProvider, provider_for
 __all__ = [
     "PipelineCompiler",
     "CodegenError",
+    "PipelineCache",
+    "CacheStats",
+    "stage_signature",
     "HashTable",
     "DuplicateKeyError",
     "hash_int64",

@@ -1,0 +1,194 @@
+"""Compiled-pipeline cache: skip recompilation of structurally equal stages.
+
+A JIT engine serving a query stream recompiles the same handful of
+pipeline shapes over and over — the 13 SSB queries produce a few dozen
+distinct (stage structure, device) pairs in total.  This module provides
+the plan-cache half of multi-query serving: compiled pipelines are keyed
+by a *structural signature* of the stage (operator chain, expression
+sources, referenced column widths and the target device) so that
+
+* the same query resubmitted later hits the cache regardless of its
+  degree of parallelism or affinity (neither affects generated code);
+* two different queries sharing a stage shape (e.g. the same dimension
+  build) share one compiled pipeline.
+
+Compiled pipelines are immutable: the generated function only touches the
+:class:`~repro.jit.pipeline.PipelineState` passed per invocation, so one
+cached entry is safely shared by any number of concurrent queries.
+
+Eviction is LRU with a fixed capacity; :class:`CacheStats` exposes the
+hit/miss/eviction counters the scheduler reports per batch.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from ..algebra.physical import (
+    OpBuildSink,
+    OpFilter,
+    OpGroupAggSink,
+    OpHashPackSink,
+    OpPackSink,
+    OpProbe,
+    OpProject,
+    OpReduceSink,
+    OpUnpack,
+    Stage,
+)
+from .pipeline import CompiledPipeline
+
+__all__ = ["PipelineCache", "CacheStats", "stage_signature"]
+
+
+def _ident(name: str) -> str:
+    """Shared with codegen: sanitise a column name into an identifier."""
+    return re.sub(r"\W", "_", name)
+
+
+def _var(name: str) -> str:
+    """Shared with codegen: the generated-code variable for a column."""
+    return f"c_{_ident(name)}"
+
+
+def _op_signature(op, width: Callable[[str], int]) -> Optional[tuple]:
+    """Canonical, hashable description of one pipeline operator.
+
+    Everything that influences the generated source must appear here:
+    expression sources (rendered exactly as codegen renders them), column
+    sets in order, and the byte widths codegen bakes into the stats
+    instrumentation.  Parallelism traits (dop, affinity) deliberately do
+    not — they never reach the generated code.
+    """
+    if isinstance(op, OpUnpack):
+        return ("unpack", tuple(op.columns), tuple(width(c) for c in op.columns))
+    if isinstance(op, OpFilter):
+        return ("filter", op.predicate.source(_var))
+    if isinstance(op, OpProject):
+        return ("project", tuple((alias, e.source(_var)) for alias, e in op.exprs))
+    if isinstance(op, OpProbe):
+        return (
+            "probe", op.ht_id, op.probe_key, tuple(op.payload),
+            tuple(width(p) for p in op.payload),
+        )
+    if isinstance(op, OpBuildSink):
+        return (
+            "build", op.ht_id, op.build_key, tuple(op.payload),
+            tuple(width(p) for p in op.payload),
+        )
+    if isinstance(op, OpReduceSink):
+        return ("reduce", tuple((a.kind, a.alias, a.expr.source(_var)) for a in op.aggs))
+    if isinstance(op, OpGroupAggSink):
+        return (
+            "groupagg", tuple(op.keys),
+            tuple((a.kind, a.alias, a.expr.source(_var)) for a in op.aggs),
+        )
+    if isinstance(op, OpHashPackSink):
+        return (
+            "hashpack", op.key, op.partitions, tuple(op.columns),
+            tuple(width(c) for c in op.columns),
+        )
+    if isinstance(op, OpPackSink):
+        return ("pack", tuple(op.columns), tuple(width(c) for c in op.columns))
+    # Unknown op type: no structural signature exists, so the stage is
+    # UNCACHEABLE (returning any id()-style surrogate would risk a false
+    # hit once the surrogate is reused).
+    return None
+
+
+def stage_signature(stage: Stage, width: Callable[[str], int]) -> Optional[tuple]:
+    """Structural cache key for one stage on its device.
+
+    The stage *name* is included because codegen embeds it in the
+    generated function name; names are derived from the plan shape
+    ("probe-cpu", "build-ht0-gpu", ...), so equal shapes share keys while
+    the compiled function object stays self-describing.
+
+    Returns ``None`` when the stage contains an operator this module
+    cannot describe structurally — callers must then bypass the cache
+    entirely rather than risk a collision.
+    """
+    ops = tuple(_op_signature(op, width) for op in stage.ops)
+    if any(sig is None for sig in ops):
+        return None
+    return (stage.device.value, stage.name, ops)
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters over the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: per-key hit counts of the currently resident entries
+    entry_hits: dict = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PipelineCache:
+    """LRU cache of :class:`CompiledPipeline` objects keyed by structure."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, CompiledPipeline]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list:
+        """Resident keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def get(self, key: Hashable) -> Optional[CompiledPipeline]:
+        """Look up a compiled pipeline; counts a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.entry_hits[key] = self.stats.entry_hits.get(key, 0) + 1
+        return entry
+
+    def put(self, key: Hashable, pipeline: CompiledPipeline) -> None:
+        """Insert a freshly compiled pipeline, evicting LRU on overflow."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = pipeline
+            return
+        self._entries[key] = pipeline
+        while len(self._entries) > self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.stats.entry_hits.pop(evicted_key, None)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.entry_hits.clear()

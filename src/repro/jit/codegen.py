@@ -25,7 +25,6 @@ how a real JIT engine keeps only live attributes in registers.
 
 from __future__ import annotations
 
-import re
 from typing import Callable
 
 from ..algebra.expressions import Expression, OpCounts
@@ -43,6 +42,9 @@ from ..algebra.physical import (
     Stage,
 )
 from ..hardware.costmodel import CYCLES
+# _ident/_var are shared with the cache: stage signatures render
+# expression sources with the exact same variable naming codegen emits.
+from .cache import PipelineCache, _ident, _var, stage_signature
 from .pipeline import CompiledPipeline
 from .provider import DeviceProvider, provider_for
 
@@ -51,14 +53,6 @@ __all__ = ["PipelineCompiler", "CodegenError"]
 
 class CodegenError(RuntimeError):
     """Code generation failed for a stage."""
-
-
-def _ident(name: str) -> str:
-    return re.sub(r"\W", "_", name)
-
-
-def _var(name: str) -> str:
-    return f"c_{_ident(name)}"
 
 
 def _expr_cycles(counts: OpCounts) -> float:
@@ -141,10 +135,17 @@ class PipelineCompiler:
 
     ``widths`` maps column names to their byte width for the stats
     instrumentation; unknown (derived) columns default to 8 bytes.
+
+    ``cache`` (optional) is a shared :class:`~repro.jit.cache.PipelineCache`:
+    structurally equal stages skip codegen + compile + load entirely and
+    return the resident :class:`CompiledPipeline` (safe to share — compiled
+    functions are stateless; per-query state is created via ``new_state``).
     """
 
-    def __init__(self, widths: dict[str, int] | None = None):
+    def __init__(self, widths: dict[str, int] | None = None,
+                 cache: PipelineCache | None = None):
         self.widths = dict(widths or {})
+        self.cache = cache
 
     def width(self, name: str) -> int:
         return self.widths.get(name, 8)
@@ -157,6 +158,20 @@ class PipelineCompiler:
                 f"stage {stage.name!r} is a segmenter source; it has no "
                 "generated pipeline (the segmenter is a runtime operator)"
             )
+        key = None
+        if self.cache is not None:
+            key = stage_signature(stage, self.width)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+        pipeline = self.compile_fresh(stage)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, pipeline)
+        return pipeline
+
+    def compile_fresh(self, stage: Stage) -> CompiledPipeline:
+        """Codegen + compile + load, bypassing the cache entirely."""
         provider = provider_for(stage.device)
         fn_name = f"pipeline_{_ident(stage.name)}"
         source = self._generate(stage, provider, fn_name)

@@ -59,9 +59,16 @@ def merge_agg(kind: str, left, right):
 
 
 class QueryState:
-    """Cross-pipeline shared state for one query execution."""
+    """Cross-pipeline shared state for one query execution.
 
-    def __init__(self):
+    Exactly one instance exists per executing query; nothing in here is
+    shared across queries, which is what makes phase networks re-entrant
+    on a shared simulator.  ``query_id`` tags the state (and, through the
+    executor, every router and process name) for multi-query debugging.
+    """
+
+    def __init__(self, query_id: str = "q0"):
+        self.query_id = query_id
         #: (ht_id, domain) -> HashTable; domain is 'cpu' or 'gpu:<k>'
         self.hash_tables: dict[tuple[str, str], HashTable] = {}
         #: (ht_id, domain) -> True when the (logical) table exceeds the

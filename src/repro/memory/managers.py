@@ -75,6 +75,16 @@ class MemoryManager:
         self.stats.peak_bytes = max(self.stats.peak_bytes, self.node.used_bytes)
         return handle
 
+    @property
+    def live_handles(self) -> int:
+        """Outstanding (allocated, not yet freed) state allocations."""
+        return len(self._live)
+
+    @property
+    def live_bytes(self) -> float:
+        """Logical bytes currently held by live state allocations."""
+        return float(sum(self._live.values()))
+
     def free(self, handle: int) -> None:
         nbytes = self._live.pop(handle)
         self.node.free(nbytes)
@@ -201,6 +211,23 @@ class BlockManagerSet:
             if count:
                 self.manager(remote).release(count)
         self._remote_cache.clear()
+
+    def unaccounted_blocks(self) -> dict[str, int]:
+        """Arena slots neither free nor parked in a remote cache, per node.
+
+        Between queries this must be all zeros: every staging slot a
+        query acquired was either released by its consumers or reclaimed
+        when the query was aborted.  A positive count is a staging leak
+        (conservation checks assert on it).
+        """
+        cached: dict[str, int] = {}
+        for (_local, remote), count in self._remote_cache.items():
+            cached[remote] = cached.get(remote, 0) + count
+        return {
+            node_id: manager.arena_blocks - manager.free_blocks
+            - cached.get(node_id, 0)
+            for node_id, manager in self.managers.items()
+        }
 
 
 def make_block(

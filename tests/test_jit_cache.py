@@ -1,0 +1,218 @@
+"""Compiled-pipeline cache: hit/miss/eviction semantics and result parity.
+
+Covers the structural signature (what must and must not distinguish two
+stages), LRU eviction accounting, and — most importantly — that a cached
+pipeline produces output identical to a freshly compiled one, both at the
+pipeline level (same generated function, same state effects) and at the
+whole-query level (cached engine == cache-disabled engine == reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionConfig, Proteus, agg_sum, col, scan
+from repro.engine.reference import ReferenceExecutor
+from repro.jit.cache import PipelineCache, stage_signature
+from repro.jit.codegen import PipelineCompiler
+from repro.jit.pipeline import QueryState
+from repro.storage import Column, DataType, Table
+
+
+def _table(seed=3, rows=4_000):
+    rng = np.random.default_rng(seed)
+    return Table("t", [
+        Column.from_values("a", DataType.INT64, rng.integers(0, 500, rows)),
+        Column.from_values("b", DataType.INT32, rng.integers(0, 60, rows)),
+    ])
+
+
+def _plan(threshold=30):
+    return (
+        scan("t", ["a", "b"])
+        .filter(col("b") < threshold)
+        .reduce([agg_sum(col("a") * col("b"), "s")])
+    )
+
+
+def _engine(**kwargs) -> Proteus:
+    engine = Proteus(segment_rows=1024, **kwargs)
+    engine.register(_table())
+    return engine
+
+
+def _probe_stage(engine, plan, config):
+    het = engine.placer.place(plan, config)
+    return next(s for s in het.all_stages() if not s.is_source)
+
+
+class TestHitMiss:
+    def test_recompiling_same_plan_hits(self):
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        het = engine.placer.place(_plan(), config)
+        engine.executor.compile_plan(het)
+        stats = engine.pipeline_cache.stats
+        misses_after_first = stats.misses
+        assert misses_after_first > 0 and stats.hits == 0
+        engine.executor.compile_plan(engine.placer.place(_plan(), config))
+        assert stats.misses == misses_after_first
+        assert stats.hits == misses_after_first
+        assert stats.hit_rate == 0.5
+
+    def test_dop_and_affinity_do_not_miss(self):
+        """Parallelism traits never reach generated code, so the same
+        query at a different degree of parallelism reuses the pipeline."""
+        engine = _engine()
+        engine.executor.compile_plan(
+            engine.placer.place(_plan(), ExecutionConfig.cpu_only(2, block_tuples=512))
+        )
+        misses = engine.pipeline_cache.stats.misses
+        engine.executor.compile_plan(
+            engine.placer.place(_plan(), ExecutionConfig.cpu_only(7, block_tuples=512))
+        )
+        assert engine.pipeline_cache.stats.misses == misses
+
+    def test_different_predicate_misses(self):
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        engine.executor.compile_plan(engine.placer.place(_plan(30), config))
+        misses = engine.pipeline_cache.stats.misses
+        engine.executor.compile_plan(engine.placer.place(_plan(31), config))
+        assert engine.pipeline_cache.stats.misses > misses
+
+    def test_different_device_misses(self):
+        engine = _engine()
+        stage_cpu = _probe_stage(
+            engine, _plan(), ExecutionConfig.cpu_only(2, block_tuples=512))
+        stage_gpu = _probe_stage(
+            engine, _plan(), ExecutionConfig.gpu_only([0], block_tuples=512))
+        width = engine.executor._column_widths().get
+        sig_cpu = stage_signature(stage_cpu, lambda c: width(c, 8))
+        sig_gpu = stage_signature(stage_gpu, lambda c: width(c, 8))
+        assert sig_cpu != sig_gpu
+
+    def test_width_change_misses(self):
+        """Column widths are baked into the generated stats constants, so
+        a catalog change that alters widths must not reuse stale code."""
+        engine = _engine()
+        stage = _probe_stage(
+            engine, _plan(), ExecutionConfig.cpu_only(2, block_tuples=512))
+        sig_narrow = stage_signature(stage, lambda c: 4)
+        sig_wide = stage_signature(stage, lambda c: 8)
+        assert sig_narrow != sig_wide
+
+
+class TestEviction:
+    class _Dummy:
+        def __init__(self, tag):
+            self.tag = tag
+
+    def test_lru_eviction_order_and_counts(self):
+        cache = PipelineCache(capacity=2)
+        cache.put("k1", self._Dummy(1))
+        cache.put("k2", self._Dummy(2))
+        assert cache.get("k1").tag == 1  # k1 becomes most-recent
+        cache.put("k3", self._Dummy(3))  # evicts k2 (LRU)
+        assert cache.stats.evictions == 1
+        assert "k2" not in cache and "k1" in cache and "k3" in cache
+        assert cache.get("k2") is None  # miss after eviction
+        assert cache.stats.misses == 1
+
+    def test_reinsert_same_key_does_not_evict(self):
+        cache = PipelineCache(capacity=2)
+        cache.put("k1", self._Dummy(1))
+        cache.put("k1", self._Dummy(10))
+        cache.put("k2", self._Dummy(2))
+        assert cache.stats.evictions == 0
+        assert cache.get("k1").tag == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PipelineCache(capacity=0)
+
+    def test_zero_capacity_engine_raises_not_silently_disables(self):
+        with pytest.raises(ValueError):
+            Proteus(segment_rows=1024, pipeline_cache_capacity=0)
+
+    def test_evicted_pipeline_recompiles_and_still_works(self):
+        engine = _engine(pipeline_cache_capacity=1)
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        r1 = engine.query(_plan(30), config)
+        r2 = engine.query(_plan(40), config)  # evicts the first pipeline
+        r3 = engine.query(_plan(30), config)  # recompiled after eviction
+        assert engine.pipeline_cache.stats.evictions > 0
+        assert r3.value("s") == r1.value("s")
+        assert r2.value("s") != r1.value("s")
+
+
+class TestCachedOutputParity:
+    def test_cached_fn_is_the_same_object_with_fresh_state(self):
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        het = engine.placer.place(_plan(), config)
+        first = engine.executor.compile_plan(het)
+        second = engine.executor.compile_plan(
+            engine.placer.place(_plan(), config))
+        for stage_id in second:
+            # compiled artefacts are shared ...
+            assert any(second[stage_id] is p for p in first.values())
+        # ... but state is created fresh per query
+        pipeline = next(iter(second.values()))
+        state_a = pipeline.new_state(QueryState("qa"), "cpu", 512)
+        state_b = pipeline.new_state(QueryState("qb"), "cpu", 512)
+        assert state_a is not state_b
+        assert state_a.stats is not state_b.stats
+
+    def test_cached_pipeline_output_matches_fresh_compile(self):
+        """Run the same block through the cached fn and a fresh compile:
+        identical emitted output and identical accumulator effects."""
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(1, block_tuples=512)
+        stage = _probe_stage(engine, _plan(), config)
+        widths = engine.executor._column_widths()
+        cached = PipelineCompiler(
+            widths=widths, cache=engine.pipeline_cache).compile_stage(stage)
+        fresh = PipelineCompiler(widths=widths).compile_stage(stage)
+        assert cached.source == fresh.source
+        rng = np.random.default_rng(11)
+        cols = {
+            "a": rng.integers(0, 500, 512).astype(np.int64),
+            "b": rng.integers(0, 60, 512).astype(np.int32),
+        }
+        state_c = cached.new_state(QueryState(), "cpu", 512)
+        state_f = fresh.new_state(QueryState(), "cpu", 512)
+        out_c = cached.fn(state_c, cols, state_c.stats)
+        out_f = fresh.fn(state_f, cols, state_f.stats)
+        assert out_c == out_f == []
+        assert state_c.reduce_partials() == state_f.reduce_partials()
+        assert state_c.stats.tuples_in == state_f.stats.tuples_in
+        assert state_c.stats.bytes_in == state_f.stats.bytes_in
+
+    def test_begin_compilation_pins_resident_pipelines_across_eviction(self):
+        """Two-phase compilation: pipelines fetched at admission stay
+        valid even if a concurrent query evicts them from the cache
+        before finish() runs (no silent uncharged recompile)."""
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        engine.executor.compile_plan(engine.placer.place(_plan(), config))
+        compilation = engine.executor.begin_compilation(
+            engine.placer.place(_plan(), config))
+        assert compilation.fresh_count == 0
+        misses_before = engine.pipeline_cache.stats.misses
+        engine.pipeline_cache.clear()  # a concurrent eviction storm
+        pipelines = compilation.finish()
+        assert len(pipelines) > 0
+        # nothing was recompiled: no new cache misses were recorded
+        assert engine.pipeline_cache.stats.misses == misses_before
+
+    def test_query_results_identical_with_and_without_cache(self):
+        tables = {"t": _table()}
+        cached_engine = _engine()
+        plain_engine = _engine(pipeline_cache_capacity=None)
+        assert plain_engine.pipeline_cache is None
+        config = ExecutionConfig.hybrid(3, [0, 1], block_tuples=512)
+        reference = ReferenceExecutor(tables).execute(_plan())
+        for engine in (cached_engine, cached_engine, plain_engine):
+            result = engine.query(_plan(), config)
+            assert sorted(result.rows) == sorted(reference)
+        assert cached_engine.pipeline_cache.stats.hits > 0

@@ -18,6 +18,7 @@ from repro import ExecutionConfig, Proteus
 from repro.algebra.expressions import col
 from repro.algebra.logical import agg_count, agg_max, agg_min, agg_sum, scan
 from repro.engine.reference import ReferenceExecutor
+from repro.engine.scheduler import EngineServer
 from repro.storage import Column, DataType, Table
 
 ROWS = 3_000
@@ -154,3 +155,71 @@ def test_random_plan_matches_reference(seed, use_dim1, use_dim2, fact_pred,
     result = engine.query(plan, config)
     expected = ReferenceExecutor(tables).execute(plan)
     assert _normalise(result.rows) == _normalise(expected)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent fuzzing: random plan *batches* on one shared server
+# ---------------------------------------------------------------------------
+
+plan_params = st.tuples(
+    st.booleans(),                       # use_dim1
+    st.booleans(),                       # use_dim2
+    fact_filters,
+    dim1_filters,
+    dim2_filters,
+    aggregates,
+    st.integers(min_value=0, max_value=3),  # group_mode
+    configs,
+)
+
+
+def _run_batch(tables, batch, max_concurrent):
+    """One shared server serving the whole random batch concurrently."""
+    server = EngineServer(segment_rows=1024, max_concurrent=max_concurrent)
+    for table in tables.values():
+        server.register(table)
+    sessions = []
+    for index, params in enumerate(batch):
+        (use_dim1, use_dim2, fact_pred, d1_pred, d2_pred, aggs,
+         group_mode, config) = params
+        plan = _build_plan(use_dim1, use_dim2, fact_pred, d1_pred, d2_pred,
+                           aggs, group_mode)
+        sessions.append(server.submit(plan, config, name=f"fz{index}"))
+    report = server.run()  # raises SchedulerError on any deadlock
+    return server, report, sessions
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=7),
+    batch=st.lists(plan_params, min_size=2, max_size=4),
+    max_concurrent=st.integers(min_value=2, max_value=4),
+)
+def test_concurrent_random_batches(seed, batch, max_concurrent):
+    """Random concurrent batches: no deadlock, conserved accounting,
+    reference-identical results, and bit-for-bit determinism."""
+    tables = _tables(seed)
+    server, report, sessions = _run_batch(tables, batch, max_concurrent)
+
+    # every query completed (run() would raise on a deadlock; a failed
+    # session here would indicate a concurrency bug, not a bad plan)
+    assert [s.status for s in sessions] == ["done"] * len(batch)
+
+    # conservation: admission budget drained, allocated == released, and
+    # no operator-state allocation survived its query on any memory node
+    server.check_conservation()
+
+    # differential: each concurrent result matches the solo reference
+    reference = ReferenceExecutor(tables)
+    for session in sessions:
+        expected = reference.execute(session.plan)
+        assert _normalise(session.result.rows) == _normalise(expected)
+
+    # determinism: replaying the identical batch on a fresh server gives
+    # bit-identical rows and the exact same simulated makespan
+    _, report2, sessions2 = _run_batch(tables, batch, max_concurrent)
+    assert report2.makespan == report.makespan
+    for a, b in zip(sessions, sessions2):
+        assert a.result.rows == b.result.rows
+        assert a.latency == b.latency

@@ -1,0 +1,470 @@
+"""Multi-query scheduler tests: differential correctness + re-entrancy.
+
+The heart of this suite is differential: every SSB query executed
+*concurrently* on a shared server must return exactly the same rows as a
+solo run through the independent reference executor, at several
+concurrency levels and under mixed device configurations.  (SSB
+aggregates are sums of integer-valued products, which are exact in
+float64, so equality is bitwise — no rounding tolerance is needed or
+used.)
+
+The rest pins the re-entrancy fixes the scheduler depends on: per-query
+operator-state handles, per-router routing cursors, query-id tagging,
+admission-budget conservation, and failure isolation between concurrent
+queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineServer, ExecutionConfig, Proteus, ResourceBudget
+from repro.algebra.expressions import col
+from repro.algebra.logical import agg_sum, scan
+from repro.algebra.physical import RouterPolicy
+from repro.core.router import ConsumerGroup, Router
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.scheduler import AdmissionError
+from repro.hardware.sim import Simulator
+from repro.ssb import SSB_QUERY_IDS, generate_ssb, load_ssb, ssb_query
+from repro.storage import Column, DataType, Table
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.005, seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference(tables):
+    ref = ReferenceExecutor(tables)
+    return {qid: ref.execute(ssb_query(qid)) for qid in SSB_QUERY_IDS}
+
+
+def _mixed_config(index: int) -> ExecutionConfig:
+    configs = [
+        ExecutionConfig.cpu_only(6, block_tuples=4096),
+        ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+        ExecutionConfig.hybrid(4, [0, 1], block_tuples=4096),
+    ]
+    return configs[index % len(configs)]
+
+
+def _server(tables, **kwargs) -> EngineServer:
+    server = EngineServer(segment_rows=2048, **kwargs)
+    load_ssb(server.engine, tables=tables)
+    return server
+
+
+class TestDifferentialCorrectness:
+    """Concurrent results == solo reference results, bit for bit."""
+
+    @pytest.mark.parametrize("concurrency", [2, 5, 13])
+    def test_all_ssb_queries_concurrent_match_reference(
+        self, tables, reference, concurrency
+    ):
+        server = _server(tables, max_concurrent=concurrency)
+        sessions = [
+            server.submit(ssb_query(qid), _mixed_config(index), name=qid)
+            for index, qid in enumerate(SSB_QUERY_IDS)
+        ]
+        report = server.run()
+        assert [s.status for s in sessions] == ["done"] * len(SSB_QUERY_IDS)
+        for session in sessions:
+            assert sorted(session.result.rows) == sorted(reference[session.name]), (
+                f"{session.name} diverged at concurrency {concurrency}"
+            )
+        # all queries genuinely overlapped: batch finished faster than the
+        # sum of individual service times (except at concurrency levels
+        # where queueing dominates, overlap still shortens the makespan)
+        service = [s.service_seconds for s in sessions]
+        assert report.makespan < sum(service)
+        server.check_conservation()
+
+    def test_deterministic_for_fixed_seed(self, tables):
+        def run_once():
+            server = _server(tables, max_concurrent=4)
+            sessions = [
+                server.submit(ssb_query(qid), _mixed_config(i), name=qid)
+                for i, qid in enumerate(SSB_QUERY_IDS[:6])
+            ]
+            report = server.run()
+            return report, sessions
+
+        report_a, sessions_a = run_once()
+        report_b, sessions_b = run_once()
+        assert report_a.makespan == report_b.makespan
+        for a, b in zip(sessions_a, sessions_b):
+            assert a.result.rows == b.result.rows
+            assert a.latency == b.latency
+
+
+class TestAdmissionControl:
+    def test_budget_caps_concurrent_cores(self, tables):
+        budget = ResourceBudget(
+            dram_bytes=1e15, hbm_bytes=1e12, pcie_bytes=1e15,
+            cpu_cores=8, gpu_units=4,
+        )
+        server = _server(tables, max_concurrent=16, budget=budget)
+        config = ExecutionConfig.cpu_only(4, block_tuples=4096)
+        for index in range(5):
+            server.submit(ssb_query("Q1.1"), config, name=f"r{index}")
+        server.run()
+        # at most two 4-core queries ever ran together
+        assert budget.peak["cpu_cores"] == 8
+        budget.assert_conserved()
+
+    def test_oversized_query_rejected_at_submit(self, tables):
+        budget = ResourceBudget(
+            dram_bytes=1e15, hbm_bytes=1e12, pcie_bytes=1e15,
+            cpu_cores=2, gpu_units=0,
+        )
+        server = _server(tables, budget=budget)
+        with pytest.raises(AdmissionError, match="exceeds server budget"):
+            server.submit(
+                ssb_query("Q1.1"), ExecutionConfig.cpu_only(4, block_tuples=4096)
+            )
+
+    def test_queueing_delay_is_recorded(self, tables):
+        server = _server(tables, max_concurrent=1)
+        config = ExecutionConfig.cpu_only(4, block_tuples=4096)
+        first = server.submit(ssb_query("Q1.1"), config)
+        second = server.submit(ssb_query("Q1.1"), config)
+        server.run()
+        assert first.queue_seconds == 0.0
+        assert second.queue_seconds > 0.0
+        assert second.admit_time >= first.finish_time
+
+    def test_failure_releases_budget_and_isolates_others(self, tables):
+        dup = Table("dup_dim", [
+            Column.from_values("dk", DataType.INT64, np.array([1, 1, 2])),
+            Column.from_values("dv", DataType.INT64, np.array([7, 8, 9])),
+        ])
+        server = _server(tables, max_concurrent=4)
+        server.register(dup)
+        fact = Table("dup_fact", [
+            Column.from_values("fk", DataType.INT64, np.arange(1, 100) % 3),
+            Column.from_values("fv", DataType.INT64, np.arange(99)),
+        ])
+        server.register(fact)
+        bad_plan = (
+            scan("dup_fact", ["fk", "fv"])
+            .join(scan("dup_dim", ["dk", "dv"]), probe_key="fk",
+                  build_key="dk", payload=["dv"])
+            .reduce([agg_sum(col("fv"), "s")])
+        )
+        # hybrid: the GPU build side stages broadcast blocks, so this
+        # failure also exercises the staged-slot reclamation path
+        config = ExecutionConfig.hybrid(2, [0], block_tuples=1024)
+        bad = server.submit(bad_plan, config, name="bad")
+        good = server.submit(ssb_query("Q1.1"),
+                             ExecutionConfig.cpu_only(4, block_tuples=4096),
+                             name="good")
+        server.run()
+        assert bad.status == "failed"
+        assert bad.error is not None
+        assert good.status == "done"
+        # staging arenas must be whole again despite the mid-phase death
+        assert all(v == 0 for v in
+                   server.engine.blocks.unaccounted_blocks().values())
+        server.check_conservation()
+
+
+class TestBudgetArithmetic:
+    def test_conservation_is_robust_at_byte_scale(self):
+        """Relative tolerances: interleaved float allocate/release at
+        realistic (1e11-byte) scales must still conserve exactly."""
+        from repro.hardware.costmodel import QueryDemand
+
+        budget = ResourceBudget(
+            dram_bytes=2.56e11, hbm_bytes=1.6e10, pcie_bytes=9.6e10,
+            cpu_cores=24, gpu_units=4,
+        )
+        demands = [
+            QueryDemand(dram_bytes=1.1e11 / 3, hbm_bytes=1.6e10 / 7,
+                        pcie_bytes=3.3e10 / 9, cpu_cores=4, gpu_units=1)
+            for _ in range(9)
+        ]
+        for demand in demands:
+            budget.allocate(demand)
+        for demand in reversed(demands):
+            budget.release(demand)
+        assert budget.in_use["dram_bytes"] == 0.0
+        budget.assert_conserved()
+
+    def test_unspecified_budget_dimensions_are_unlimited(self, tables):
+        """ResourceBudget(cpu_cores=8) must not silently zero the other
+        dimensions and reject every query touching them."""
+        server = _server(tables, budget=ResourceBudget(cpu_cores=8),
+                         max_concurrent=4)
+        session = server.submit(
+            ssb_query("Q1.1"), ExecutionConfig.hybrid(4, [0, 1],
+                                                      block_tuples=4096))
+        server.run()
+        assert session.status == "done"
+        server.budget.assert_conserved()
+
+    def test_engine_kwargs_rejected_with_existing_engine(self, tables):
+        """serve()/EngineServer must not silently drop engine options."""
+        engine = Proteus(segment_rows=2048)
+        with pytest.raises(ValueError, match="no effect"):
+            engine.serve(segment_rows=1024)
+        with pytest.raises(ValueError, match="no effect"):
+            EngineServer(engine=engine, pipeline_cache_capacity=None)
+        # scheduler options still work with an existing engine
+        server = engine.serve(max_concurrent=2)
+        assert server.max_concurrent == 2
+
+    def test_latencies_keyed_uniquely_despite_duplicate_names(self, tables):
+        server = _server(tables, max_concurrent=2)
+        config = ExecutionConfig.cpu_only(3, block_tuples=4096)
+        server.submit(ssb_query("Q1.1"), config, name="same")
+        server.submit(ssb_query("Q1.2"), config, name="same")
+        report = server.run()
+        assert len(report.latencies) == 2
+        assert report.mean_latency > 0.0
+
+
+class TestClosedLoopClients:
+    def test_dead_client_is_surfaced_not_swallowed(self, tables):
+        """A client whose later submission is rejected must fail the run
+        loudly — its remaining queries were never submitted."""
+        from repro.engine.scheduler import SchedulerError
+
+        budget = ResourceBudget(
+            dram_bytes=1e15, hbm_bytes=1e12, pcie_bytes=1e15,
+            cpu_cores=4, gpu_units=0,
+        )
+        server = _server(tables, max_concurrent=4, budget=budget)
+        small = ExecutionConfig.cpu_only(2, block_tuples=4096)
+        plans = [ssb_query("Q1.1"), ssb_query("Q1.2"), ssb_query("Q1.3")]
+
+        def greedy_client():
+            # first query fits; the second asks for more cores than the
+            # budget will ever have -> AdmissionError inside the client
+            session = server.submit(plans[0], small, name="greedy-0")
+            yield session.done
+            server.submit(plans[1],
+                          ExecutionConfig.cpu_only(8, block_tuples=4096),
+                          name="greedy-1")
+
+        proc = server.sim.process(greedy_client(), name="client:greedy")
+        server._clients.append(proc)
+        with pytest.raises(SchedulerError, match="died mid-loop"):
+            server.run()
+        # the aborted drive consumed its sessions: the next drive's
+        # report must not be skewed by them
+        assert server.last_report is not None
+        assert len(server.last_report.completed) == 1
+        fresh = server.submit(ssb_query("Q1.3"), small, name="fresh")
+        report = server.run()
+        assert [s.name for s in report.sessions] == ["fresh"]
+        assert report.makespan == fresh.latency
+        server.check_conservation()
+
+    def test_clients_resubmit_after_completion(self, tables):
+        server = _server(tables, max_concurrent=4)
+        plans = [ssb_query("Q1.1"), ssb_query("Q1.2"), ssb_query("Q1.3")]
+        config = ExecutionConfig.cpu_only(3, block_tuples=4096)
+        server.spawn_client(plans, config, think_seconds=0.005, name="alice")
+        server.spawn_client(plans, config, think_seconds=0.0, name="bob")
+        report = server.run()
+        assert len(report.completed) == 6
+        # closed loop: a client's queries never overlap with themselves
+        by_client = {}
+        for session in report.sessions:
+            by_client.setdefault(session.name.split("-")[0], []).append(session)
+        for sessions in by_client.values():
+            ordered = sorted(sessions, key=lambda s: s.submit_time)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert later.submit_time >= earlier.finish_time
+
+
+class TestWarmServerLatency:
+    def test_concurrent_identical_queries_both_pay_compilation(self, tables):
+        """A pipeline becomes cache-visible only after its simulated
+        compile latency: two identical queries admitted together on a
+        cold server must BOTH pay compilation — the second cannot finish
+        before the first's compilation would even have completed."""
+        from repro.engine.scheduler import DEFAULT_COMPILE_SECONDS
+
+        server = _server(tables, max_concurrent=2)
+        config = ExecutionConfig.cpu_only(3, block_tuples=4096)
+        a = server.submit(ssb_query("Q1.1"), config, name="a")
+        b = server.submit(ssb_query("Q1.1"), config, name="b")
+        server.run()
+        assert a.compiled_fresh == b.compiled_fresh > 0
+        compile_charge = a.compiled_fresh * DEFAULT_COMPILE_SECONDS
+        assert a.latency >= compile_charge
+        assert b.latency >= compile_charge
+
+    def test_reports_cover_only_their_own_drive(self, tables):
+        server = _server(tables, max_concurrent=2)
+        config = ExecutionConfig.cpu_only(3, block_tuples=4096)
+        server.submit(ssb_query("Q1.1"), config)
+        first = server.run()
+        server.submit(ssb_query("Q1.2"), config)
+        second = server.run()
+        assert len(first.sessions) == 1 and len(second.sessions) == 1
+        assert first.sessions[0].query_id != second.sessions[0].query_id
+        # second drive's makespan is exactly its own session's span, not
+        # the server's lifetime
+        assert second.makespan == second.sessions[0].latency
+
+    def test_repeated_query_skips_compilation(self, tables):
+        server = _server(tables, max_concurrent=1)
+        config = ExecutionConfig.cpu_only(4, block_tuples=4096)
+        cold = server.submit(ssb_query("Q2.1"), config, name="cold")
+        server.run()
+        warm = server.submit(ssb_query("Q2.1"), config, name="warm")
+        server.run()
+        assert cold.compiled_fresh > 0
+        assert warm.compiled_fresh == 0
+        assert warm.latency < cold.latency
+        assert warm.result.rows == cold.result.rows
+
+
+class TestReentrancyRegressions:
+    """Pin the fixes that made phase networks re-entrant."""
+
+    def test_interleaved_queries_share_one_simulator(self, tables):
+        """Two execute_process generators interleave on one sim and both
+        finish with correct, independent state (the old executor kept
+        operator-state handles on the *instance*, so one query's cleanup
+        freed the other's hash tables)."""
+        engine = Proteus(segment_rows=2048)
+        load_ssb(engine, tables=tables)
+        config = ExecutionConfig.cpu_only(4, block_tuples=4096)
+        results = {}
+
+        def run(tag, qid):
+            het = engine.placer.place(ssb_query(qid), config)
+            raw = yield from engine.executor.execute_process(
+                het, config, query_id=tag
+            )
+            results[tag] = engine._collect(het.collect, raw)
+
+        engine.sim.process(run("qa", "Q1.1"), name="qa")
+        engine.sim.process(run("qb", "Q2.1"), name="qb")
+        engine.sim.run()
+        reference = ReferenceExecutor(tables)
+        assert sorted(results["qa"].rows) == sorted(
+            reference.execute(ssb_query("Q1.1")))
+        assert sorted(results["qb"].rows) == sorted(
+            reference.execute(ssb_query("Q2.1")))
+        for manager in engine.executor.memory_managers.values():
+            assert manager.live_handles == 0
+
+    def test_router_cursors_are_per_instance(self):
+        """Round-robin position must be private, inspectable state: two
+        routers never share a cursor, and a fresh router always starts at
+        target 0 (the old itertools.cycle cursors were opaque and, when
+        the cursor range diverged from the target count, skewed)."""
+        sim = Simulator()
+        from repro.algebra.physical import (
+            OpPackSink, SegmentSource, Stage,
+        )
+        from repro.hardware.topology import DeviceType
+
+        def stage(name, dop):
+            return Stage(name=name, device=DeviceType.CPU,
+                         ops=[OpPackSink(["x"])],
+                         source=SegmentSource("t", ["x"]), dop=dop)
+
+        producer = stage("prod", 1)
+        groups_a = [ConsumerGroup(stage("a1", 3), ["cpu:0"] * 3),
+                    ConsumerGroup(stage("a2", 2), ["cpu:1"] * 2)]
+        groups_b = [ConsumerGroup(stage("b1", 2), ["cpu:0"] * 2)]
+        router_a = Router(sim, producer, groups_a, RouterPolicy.ROUND_ROBIN)
+        router_b = Router(sim, producer, groups_b, RouterPolicy.ROUND_ROBIN)
+        assert router_a._rr_index == 0 and router_b._rr_index == 0
+        # advancing one router's cursor must not move the other's
+        for _ in range(3):
+            router_a._select(None)
+        assert router_a._rr_index == 3
+        assert router_b._rr_index == 0
+        # uniform coverage: 10 selections over 5 targets = exactly 2 each
+        counts = {}
+        router = Router(sim, producer,
+                        [ConsumerGroup(stage("c1", 3), ["cpu:0"] * 3),
+                         ConsumerGroup(stage("c2", 2), ["cpu:1"] * 2)],
+                        RouterPolicy.ROUND_ROBIN)
+        for _ in range(10):
+            group, instance = router._select(None)
+            counts[(id(group), instance)] = counts.get((id(group), instance), 0) + 1
+        assert sorted(counts.values()) == [2] * 5
+
+    def test_consumer_groups_do_not_share_queue_lists(self):
+        """Guard against mutable-default sharing across ConsumerGroups."""
+        from repro.algebra.physical import OpPackSink, SegmentSource, Stage
+        from repro.hardware.topology import DeviceType
+
+        stage = Stage(name="s", device=DeviceType.CPU, ops=[OpPackSink(["x"])],
+                      source=SegmentSource("t", ["x"]), dop=2)
+        one = ConsumerGroup(stage, ["cpu:0", "cpu:1"])
+        two = ConsumerGroup(stage, ["cpu:0", "cpu:1"])
+        assert one.instance_queues is not two.instance_queues
+        assert one.instance_assigned is not two.instance_assigned
+        one.instance_queues.append("sentinel")
+        assert two.instance_queues == []
+
+    def test_routers_are_tagged_with_query_ids(self):
+        sim = Simulator()
+        from repro.algebra.physical import OpPackSink, SegmentSource, Stage
+        from repro.hardware.topology import DeviceType
+
+        stage = Stage(name="probe", device=DeviceType.CPU,
+                      ops=[OpPackSink(["x"])],
+                      source=SegmentSource("t", ["x"]), dop=1)
+        router = Router(sim, stage, [ConsumerGroup(stage, ["cpu:0"])],
+                        RouterPolicy.UNION, query_id="q7")
+        assert router.query_id == "q7"
+        assert router.name.startswith("q7:")
+
+    def test_state_handles_freed_after_failed_query(self, tables):
+        """A failing query must release exactly its own state; the next
+        query on the same executor starts clean."""
+        engine = Proteus(segment_rows=2048)
+        load_ssb(engine, tables=tables)
+        dup = Table("dup_dim2", [
+            Column.from_values("dk", DataType.INT64, np.array([5, 5])),
+            Column.from_values("dv", DataType.INT64, np.array([1, 2])),
+        ])
+        engine.register(dup)
+        fact = Table("f2", [
+            Column.from_values("fk", DataType.INT64, np.arange(20) % 6),
+            Column.from_values("fv", DataType.INT64, np.arange(20)),
+        ])
+        engine.register(fact)
+        bad = (
+            scan("f2", ["fk", "fv"])
+            .join(scan("dup_dim2", ["dk", "dv"]), probe_key="fk",
+                  build_key="dk", payload=["dv"])
+            .reduce([agg_sum(col("fv"), "s")])
+        )
+        config = ExecutionConfig.cpu_only(2, block_tuples=1024)
+        from repro.engine.executor import QueryError
+
+        with pytest.raises(QueryError):
+            engine.query(bad, config)
+        for manager in engine.executor.memory_managers.values():
+            assert manager.live_handles == 0
+        result = engine.query(ssb_query("Q1.1"),
+                              ExecutionConfig.cpu_only(4, block_tuples=4096))
+        reference = ReferenceExecutor(tables)
+        assert sorted(result.rows) == sorted(reference.execute(ssb_query("Q1.1")))
+
+
+class TestDemoScript:
+    def test_multiquery_demo_smoke(self):
+        import importlib.util
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples", "multiquery_demo.py")
+        spec = importlib.util.spec_from_file_location("multiquery_demo", path)
+        demo = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(demo)
+        out = demo.main(physical_sf=0.002, verbose=False)
+        assert len(out["concurrent"].completed) == len(demo.BATCH_QUERIES)
+        assert len(out["serial"].completed) == len(demo.BATCH_QUERIES)
+        assert out["speedup"] > 1.0
