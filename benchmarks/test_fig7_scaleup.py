@@ -69,7 +69,6 @@ def test_sum_scales_linearly_then_saturates(fig7_sum):
     # saturation: 24 cores barely better than 16 (socket DRAM exhausted)
     assert s[(0, 24)] / s[(0, 16)] < 1.15
     # peak throughput near the machine's measured memory bandwidth
-    peak = 23e9 * s[(0, 24)] / (23e9 / fig7_sum["bare_cpu"]) / fig7_sum["bare_cpu"]
     throughput = 23e9 / (fig7_sum["bare_cpu"] / s[(0, 24)])
     assert 70e9 <= throughput <= 95e9, f"peak {throughput/1e9:.1f} GB/s"
 

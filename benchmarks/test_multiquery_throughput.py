@@ -4,20 +4,29 @@ The scenario family the scheduler opens up: mixed SSB batches served
 concurrently on one shared simulated server.  The fast tier checks the
 headline claims — a mixed batch of 8+ SSB queries runs concurrently with
 solo-identical results, strictly higher aggregate throughput than serial
-execution of the same batch, and a >= 90 % pipeline-cache hit rate once
-the workload repeats.  The slow tier (``--runslow``) runs the saturation
-sweep and a closed-loop client scenario at a larger scale.
+execution of the same batch, a >= 90 % pipeline-cache hit rate once the
+workload repeats, and (the SLA headline) a high-priority class whose p99
+latency under priority/deadline scheduling with phase-boundary preemption
+beats the same queries under FIFO admission at saturation.  The slow tier
+(``--runslow``) runs the saturation sweep and a closed-loop client
+scenario at a larger scale.
 """
 
 import pytest
 
-from repro.engine.config import ExecutionConfig
+from repro.engine.config import ExecutionConfig, QoS
 from repro.engine.reference import ReferenceExecutor
-from repro.engine.scheduler import EngineServer
+from repro.engine.scheduler import EngineServer, ResourceBudget
 from repro.ssb import generate_ssb, load_ssb, ssb_query
 
 #: >= 8 mixed queries: every SSB flight, both repeated
 MIXED_BATCH = ["Q1.1", "Q2.1", "Q3.1", "Q4.1", "Q1.2", "Q2.2", "Q3.2", "Q4.2"]
+
+#: the saturation mix for the SLA scenario: long join-heavy background
+#: queries that monopolise a FIFO server...
+SLA_BACKGROUND = ["Q4.1", "Q4.2", "Q4.3", "Q3.1", "Q4.1", "Q3.2", "Q4.2", "Q3.3"]
+#: ...while short flight-1 queries arrive open-loop with a latency SLO
+SLA_INTERACTIVE = ["Q1.1", "Q1.2", "Q1.3"]
 
 
 @pytest.fixture(scope="module")
@@ -93,6 +102,74 @@ class TestMixedBatchConcurrency:
               f"{repeated_misses} misses (hit rate {hit_rate:.1%})")
         assert hit_rate >= 0.90
         server.check_conservation()
+
+
+class TestSlaTailLatency:
+    """Priority scheduling rescues the interactive tail at saturation.
+
+    Identical mixed traffic — eight join-heavy background queries
+    submitted up front plus six short interactive queries arriving
+    open-loop (Poisson, seeded) with a 200 ms SLO — served twice: once
+    under the original FIFO admission, once under the SLA scheduler
+    (priority + earliest-deadline ordering, backfill, phase-boundary
+    preemption).  The SLA run must cut the interactive p99 while every
+    completed query still matches the reference executor exactly.
+    """
+
+    def _drive(self, tables, settings, admission):
+        server = EngineServer(
+            segment_rows=settings.segment_rows,
+            max_concurrent=2,
+            admission=admission,
+            budget=ResourceBudget(cpu_cores=12),
+        )
+        load_ssb(server.engine, tables=tables)
+        config = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
+        for index, qid in enumerate(SLA_BACKGROUND):
+            server.submit(ssb_query(qid), config, name=f"{qid}#bg{index}",
+                          qos=QoS.background())
+        server.spawn_open_loop(
+            [ssb_query(qid) for qid in SLA_INTERACTIVE], config,
+            rate_qps=50.0, arrivals=6, seed=5,
+            qos=QoS.interactive(deadline_seconds=0.2), name="inter",
+        )
+        report = server.run()
+        server.check_conservation()
+        return report
+
+    def test_high_priority_p99_beats_fifo_at_saturation(self, tables, settings):
+        fifo = self._drive(tables, settings, admission="fifo")
+        sla = self._drive(tables, settings, admission="sla")
+        fifo_tail = fifo.latency_percentiles()["interactive"]
+        sla_tail = sla.latency_percentiles()["interactive"]
+        print(f"\ninteractive p50/p95/p99 — "
+              f"fifo: {fifo_tail['p50']:.4f}/{fifo_tail['p95']:.4f}/"
+              f"{fifo_tail['p99']:.4f}s  |  "
+              f"sla: {sla_tail['p50']:.4f}/{sla_tail['p95']:.4f}/"
+              f"{sla_tail['p99']:.4f}s  "
+              f"({sla.preemptions} preemption(s), deadline hits "
+              f"{sla.deadline_hit_rates()['interactive']:.0%} vs "
+              f"{fifo.deadline_hit_rates()['interactive']:.0%})")
+        # the SLA headline: strictly lower interactive tail latency
+        assert sla_tail["p99"] < fifo_tail["p99"]
+        assert sla_tail["p50"] < fifo_tail["p50"]
+        # preemption visibly fired and the SLO went from missed to met
+        assert sla.preemptions >= 1
+        assert sla.deadline_hit_rates()["interactive"] > \
+            fifo.deadline_hit_rates()["interactive"]
+        # scheduling never trades correctness: every completed query in
+        # BOTH runs matches the reference executor exactly
+        reference = ReferenceExecutor(tables)
+        for report in (fifo, sla):
+            assert len(report.completed) == len(SLA_BACKGROUND) + 6
+            for session in report.completed:
+                qid = session.name.split("#")[0].split("-")[0]
+                if qid == "inter":
+                    index = int(session.name.split("-")[1])
+                    qid = SLA_INTERACTIVE[index % len(SLA_INTERACTIVE)]
+                expected = reference.execute(ssb_query(qid))
+                assert sorted(session.result.rows) == sorted(expected), \
+                    session.name
 
 
 @pytest.mark.slow

@@ -15,7 +15,7 @@ Run:  python examples/multiquery_demo.py
 
 from repro import ExecutionConfig
 from repro.engine.scheduler import BatchReport, EngineServer
-from repro.ssb import generate_ssb, load_ssb, ssb_query
+from repro.ssb import load_ssb, ssb_query
 
 #: the mixed batch: two interleaved rounds of a dashboard's favourites
 BATCH_QUERIES = ["Q1.1", "Q2.1", "Q3.1", "Q4.1", "Q1.1", "Q2.1", "Q3.1", "Q4.1"]

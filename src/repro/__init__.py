@@ -32,7 +32,7 @@ Packages:
 
 from .algebra.expressions import col, lit
 from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, scan
-from .engine.config import ExecutionConfig
+from .engine.config import ExecutionConfig, QoS
 from .engine.proteus import Proteus
 from .engine.results import QueryResult
 from .engine.scheduler import EngineServer, ResourceBudget
@@ -45,6 +45,7 @@ __all__ = [
     "EngineServer",
     "ResourceBudget",
     "ExecutionConfig",
+    "QoS",
     "QueryResult",
     "ServerSpec",
     "PAPER_SERVER",

@@ -27,7 +27,7 @@ joins over the SSB dimension tables).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from .expressions import ColumnRef, Expression

@@ -16,12 +16,12 @@ are small, so this is the classic "sample the dimension" estimate.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 
 from ..storage.catalog import Catalog
-from .expressions import Expression, bind_strings
+from .expressions import bind_strings
 from .logical import LogicalFilter, LogicalNode, LogicalProject, LogicalScan
 from .physical import OpProbe, PipelineOp
 

@@ -29,7 +29,6 @@ from typing import Optional
 from ..hardware.topology import DeviceType
 from .expressions import Expression
 from .logical import AggSpec, OrderSpec
-from .traits import Locality, Packing
 
 __all__ = [
     "PipelineOp",
@@ -265,7 +264,6 @@ class Phase:
         return [s for s in self.stages if s.is_source]
 
     def sink_stages(self) -> list[Stage]:
-        consumers = {e.consumer.stage_id for e in self.edges}
         producers = {e.producer.stage_id for e in self.edges}
         return [s for s in self.stages if s.stage_id not in producers or not self.edges]
 

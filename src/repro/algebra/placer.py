@@ -26,7 +26,7 @@ Figures 7 and 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
     from ..engine.config import ExecutionConfig

@@ -15,9 +15,8 @@ proxies; this module holds what they share:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
-import numpy as np
 
 from ..algebra.expressions import (
     Arithmetic,

@@ -47,7 +47,7 @@ from ..algebra.physical import CollectSpec
 from ..engine.collect import collect_result
 from ..engine.results import ExecutionProfile, QueryResult
 from ..hardware.costmodel import CYCLES, DBMS_G_TUNING, BlockStats, CostModel
-from ..hardware.sim import Simulator, Store
+from ..hardware.sim import Simulator
 from ..hardware.specs import ServerSpec
 from ..hardware.topology import Server
 from ..memory.managers import MemoryManager, OutOfDeviceMemory

@@ -220,7 +220,6 @@ class DBMSC:
                 morsels.put((begin, stop, segment.node_id))
         morsels.close()
 
-        agg_kinds = {a.alias: a.kind for a in star.aggs}
         bound_aggs = [(a.alias, a.kind, self._bind(a.expr)) for a in star.aggs]
         columns = list(star.fact.columns)
         worker_partials: list = []

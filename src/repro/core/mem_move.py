@@ -25,7 +25,6 @@ PCIe-bound GPU executions of Figure 5.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..hardware.costmodel import CostModel
 from ..hardware.sim import Event, Simulator

@@ -13,16 +13,66 @@ Mirrors the paper's evaluated configurations:
 Configurations are frozen (hashable, safely shared across concurrent
 queries in a multi-query batch); :meth:`ExecutionConfig.derive` produces
 a modified copy for sweeps that vary one knob.
+
+:class:`QoS` is the multi-query counterpart: the *scheduling* contract of
+one submission (priority class + latency SLO), as opposed to the
+*execution* shape above.  The :class:`~repro.engine.scheduler.EngineServer`
+ranks its admission queue by priority, then earliest deadline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..hardware.topology import DeviceType
 
-__all__ = ["ExecutionConfig"]
+__all__ = ["ExecutionConfig", "QoS"]
+
+
+@dataclass(frozen=True)
+class QoS:
+    """Quality-of-service class for one query submission.
+
+    ``priority`` is an ordinal: larger values are served first (the
+    scale is open-ended so workloads can define their own ladder).
+    ``deadline_seconds`` is a latency SLO relative to submission time;
+    the scheduler uses it for earliest-deadline-first ordering *within*
+    a priority class and reports per-class deadline-hit rates.  A
+    deadline never causes a query to be killed — it is an ordering hint
+    and a reporting contract, not a hard timeout.
+    """
+
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
+    #: reporting label; sessions aggregate per label in BatchReport
+    label: str = "batch"
+
+    def __post_init__(self):
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
+
+    # -- the conventional ladder ------------------------------------------
+
+    @classmethod
+    def interactive(cls, deadline_seconds: Optional[float] = 1.0) -> "QoS":
+        """Latency-sensitive traffic: dashboards, operators at keyboards."""
+        return cls(priority=10, deadline_seconds=deadline_seconds,
+                   label="interactive")
+
+    @classmethod
+    def batch(cls, deadline_seconds: Optional[float] = None) -> "QoS":
+        """The default class: throughput-oriented, no latency promise."""
+        return cls(priority=0, deadline_seconds=deadline_seconds,
+                   label="batch")
+
+    @classmethod
+    def background(cls) -> "QoS":
+        """Scavenger class: runs in the gaps, first to be preempted."""
+        return cls(priority=-10, deadline_seconds=None, label="background")
+
+    def derive(self, **overrides) -> "QoS":
+        return replace(self, **overrides)
 
 
 @dataclass(frozen=True)

@@ -45,7 +45,6 @@ from ..algebra.physical import (
     OpGroupAggSink,
     OpReduceSink,
     Phase,
-    RouterPolicy,
     Stage,
 )
 from ..core.device_crossing import Cpu2Gpu, Gpu2Cpu
@@ -177,6 +176,10 @@ class Executor:
         }
         #: query id -> in-flight phase runs; diagnostics only (stall reports)
         self._active: dict[str, list["_PhaseRun"]] = {}
+        #: query id -> phase boundaries still ahead of the running query;
+        #: a scheduler consults this before requesting preemption (a query
+        #: with none left can never honour the request)
+        self._checkpoints_ahead: dict[str, int] = {}
 
     # -- public ---------------------------------------------------------------
 
@@ -251,6 +254,7 @@ class Executor:
         config: ExecutionConfig,
         query_id: str = "q0",
         pipelines: Optional[dict[int, CompiledPipeline]] = None,
+        checkpoint: Optional[Any] = None,
     ):
         """DES process executing one query; returns a :class:`RawExecution`.
 
@@ -259,6 +263,17 @@ class Executor:
         interleaved on the shared simulator.  ``query_id`` must be unique
         among concurrently running queries; it tags every router, store
         and process the query creates.
+
+        ``checkpoint`` is the preemption hook: a zero-argument callable
+        consulted at every *phase boundary* (between dependency waves —
+        never before the first wave or after the last).  Returning ``None``
+        continues immediately; returning an :class:`~repro.hardware.sim.Event`
+        parks the query on that event until a scheduler triggers it.  All
+        operator state (hash tables built by earlier waves, the per-query
+        ``QueryState``, accounting) lives in this generator's locals, so a
+        resumed query continues bit-for-bit where it left off.  A query in
+        its final wave has no remaining checkpoint: requesting preemption
+        there is a no-op by construction.
         """
         if pipelines is None:
             pipelines = self.compile_plan(plan)
@@ -267,8 +282,17 @@ class Executor:
         out = RawExecution()
         start = self.sim.now
         current_wave: list["_PhaseRun"] = []
+        suspended_seconds = 0.0
+        waves = self._waves(plan)
         try:
-            for wave_index, wave in enumerate(self._waves(plan)):
+            for wave_index, wave in enumerate(waves):
+                self._checkpoints_ahead[query_id] = len(waves) - 1 - wave_index
+                if checkpoint is not None and wave_index > 0:
+                    gate = checkpoint()
+                    if gate is not None:
+                        pause_start = self.sim.now
+                        yield gate
+                        suspended_seconds += self.sim.now - pause_start
                 wave_start = self.sim.now
                 runs = [
                     self._setup_phase(phase, config, pipelines, query_state,
@@ -302,10 +326,12 @@ class Executor:
                     )
         finally:
             self._active.pop(query_id, None)
+            self._checkpoints_ahead.pop(query_id, None)
             self._abort_wave(current_wave)
             for manager, handle in state_handles:
                 manager.free(handle)
         out.profile.seconds = self.sim.now - start
+        out.profile.suspended_seconds = suspended_seconds
         return out
 
     def _abort_wave(self, runs: list["_PhaseRun"]) -> None:
@@ -327,6 +353,24 @@ class Executor:
                     proc.interrupt("query aborted")
             run.mem_move.abort_outstanding()
             self.sim._schedule_call(run.mem_move.abort_outstanding)
+
+    def checkpoints_remaining(self, query_id: str) -> Optional[int]:
+        """Phase boundaries the running query has yet to cross.
+
+        Zero for a query in its final wave — a preemption request can
+        never fire for it.  ``None`` for a query not inside
+        ``execute_process`` at all (e.g. an admitted query still paying
+        compile latency); callers that know the plan can fall back to
+        its planned boundary count (``len(waves) - 1``), since every
+        boundary is still ahead of a query that has not started.
+        """
+        return self._checkpoints_ahead.get(query_id)
+
+    @staticmethod
+    def planned_checkpoints(plan: HetPlan) -> int:
+        """Phase boundaries a plan will cross: one per dependency-wave
+        gap (a single-wave plan has none and can never be preempted)."""
+        return max(0, len(Executor._waves(plan)) - 1)
 
     def describe_stall(self, query_id: str) -> str:
         """Human-readable report of a query's never-finished processes."""

@@ -20,10 +20,8 @@ Example::
 
 from __future__ import annotations
 
-import math
-from typing import Any, Optional, Sequence
+from typing import Optional
 
-import numpy as np
 
 from ..algebra.logical import Plan
 from ..algebra.physical import CollectSpec, HetPlan
@@ -33,14 +31,13 @@ from ..hardware.sim import Simulator
 from ..hardware.specs import ServerSpec
 from ..hardware.topology import Server
 from ..jit.cache import PipelineCache
-from ..jit.pipeline import agg_identity, merge_agg
 from ..memory.managers import BlockManagerSet
 from ..storage.catalog import Catalog
 from ..storage.table import Placement, Table
 from .config import ExecutionConfig
 from .collect import collect_result
 from .executor import Executor, RawExecution
-from .results import ExecutionProfile, QueryResult
+from .results import QueryResult
 
 __all__ = ["Proteus"]
 

@@ -9,7 +9,6 @@ tables) so that agreement with the JIT engines is meaningful.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

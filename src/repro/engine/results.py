@@ -16,6 +16,9 @@ class ExecutionProfile:
 
     #: simulated wall-clock of the whole query (seconds)
     seconds: float = 0.0
+    #: simulated seconds spent parked at preemption checkpoints (the
+    #: query's wall-clock minus this is its active service time)
+    suspended_seconds: float = 0.0
     #: simulated seconds per phase, in execution order
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: aggregated pipeline stats per device type ('cpu'/'gpu')

@@ -6,8 +6,9 @@ GPUs and PCIe links.  This module adds that serving layer on top of the
 re-entrant executor:
 
 * a :class:`QuerySession` tracks one submitted query through its life
-  cycle (``queued`` -> ``running`` -> ``done``/``failed``) and records
-  queueing delay, service time and end-to-end latency in simulated time;
+  cycle (``queued`` -> ``running`` [-> ``paused`` -> ``running``] ->
+  ``done``/``failed``, or ``shed`` under overload) and records queueing
+  delay, service time and end-to-end latency in simulated time;
 * an :class:`EngineServer` owns one shared engine (simulator, server,
   catalog, block managers, compiled-pipeline cache) and accepts a stream
   of logical plans.  Admitted queries' phase networks interleave on the
@@ -16,28 +17,52 @@ re-entrant executor:
   exactly how concurrent queries interfere on the real machine;
 * admission control charges each query's cost-model-estimated demand
   (:meth:`~repro.hardware.costmodel.CostModel.admission_demand`) against a
-  shared :class:`ResourceBudget` before letting it run.  Queries are
-  admitted FIFO (head-of-line blocking is deliberate: it keeps admission
-  starvation-free); a query that could never fit even on an idle server
-  is rejected at submission;
+  shared :class:`ResourceBudget` before letting it run.  The default
+  ``admission="sla"`` policy orders the queue by **priority class, then
+  earliest deadline** (:class:`~repro.engine.config.QoS`), and lets a
+  small query *backfill* past a blocked head when its demand fits the
+  remaining budget; ``admission="fifo"`` restores the strict
+  head-of-line ordering of the original serving layer (useful as the
+  tail-latency baseline).  A query that could never fit even on an idle
+  server is rejected at submission;
+* **phase-boundary preemption**: when a higher-priority query is blocked,
+  the scheduler asks a running lower-priority victim to yield at its next
+  phase boundary (:meth:`~repro.engine.executor.Executor.execute_process`
+  checkpoints between dependency waves).  A paused query releases its
+  *compute* budget (CPU cores, GPU units, PCIe stream window) back to the
+  shared :class:`ResourceBudget`; its *memory* dimensions stay charged,
+  because the operator state built so far (hash tables) physically
+  remains resident in the suspended generator — releasing them would let
+  admission overcommit device memory and fail queries at runtime.  The
+  victim is resumed later through the same priority queue.  A query in
+  its final phase has no remaining checkpoint, so preempting it is a
+  no-op (the scheduler never even asks: it consults
+  :meth:`~repro.engine.executor.Executor.checkpoints_remaining`);
+* **open-loop arrivals**: :meth:`EngineServer.spawn_open_loop` is a
+  Poisson arrival generator (seeded, deterministic) that submits without
+  waiting for completions, the standard way to drive a server past
+  saturation.  Overload behaviour is explicit: with a bounded admission
+  queue (``max_queue_depth``) excess arrivals are **shed** at submission
+  (status ``shed``, reported per class) instead of growing the queue
+  without bound.  Closed-loop clients (:meth:`EngineServer.spawn_client`)
+  remain for think-time workloads;
 * repeated query shapes hit the executor's shared
   :class:`~repro.jit.cache.PipelineCache`; a cache miss pays a simulated
   compilation latency (:data:`DEFAULT_COMPILE_SECONDS` per pipeline), a
   hit pays nothing — so a warmed server visibly serves repeated SSB
   queries faster.
 
-Closed-loop clients are DES processes that submit a query, wait for its
-completion event, think, and submit the next one
-(:meth:`EngineServer.spawn_client`).  :meth:`EngineServer.run` drives the
-whole batch to completion and returns a :class:`BatchReport` with
-per-query latencies, aggregate throughput and cache statistics.
+:meth:`EngineServer.run` drives the whole batch to completion and returns
+a :class:`BatchReport` with per-query latencies, aggregate throughput,
+cache statistics, and per-class tail latency percentiles (p50/p95/p99),
+deadline-hit rates, preemption and shed counts.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence
 
 from ..algebra.logical import Plan
@@ -46,7 +71,7 @@ from ..hardware.costmodel import QueryDemand
 from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
-from .config import ExecutionConfig
+from .config import ExecutionConfig, QoS
 from .executor import PREFETCH_DEPTH
 from .proteus import Proteus
 from .results import QueryResult
@@ -67,7 +92,9 @@ __all__ = [
 DEFAULT_COMPILE_SECONDS = 25e-3
 
 #: budget dimensions — derived from QueryDemand so the two modules cannot
-#: silently diverge when a dimension is added or removed
+#: silently diverge when a dimension is added or removed (QueryDemand's
+#: scheduling attributes — priority, deadline — are deliberately absent
+#: from as_dict and therefore never become budget dimensions)
 DIMENSIONS = tuple(QueryDemand().as_dict())
 
 
@@ -87,7 +114,9 @@ class ResourceBudget:
     bandwidth sharing itself happens in the DES resources.  The budget
     keeps conservation counters (total allocated / released per
     dimension) so tests can assert that admission control neither leaks
-    nor double-frees.
+    nor double-frees; :meth:`release` refuses to go negative (releasing
+    a demand that was never allocated is an accounting bug, not a
+    recoverable condition).
     """
 
     def __init__(self, **capacities: float):
@@ -155,6 +184,27 @@ class ResourceBudget:
             for dim in DIMENSIONS
         )
 
+    def fits_with_release(
+        self, demand: QueryDemand, released: Sequence[QueryDemand] = ()
+    ) -> bool:
+        """Would ``demand`` fit if ``released`` were given back first?
+
+        The preemption planner uses this to request only as many victims
+        as actually unblock the waiting query (pausing more would churn
+        phase boundaries for nothing).
+        """
+        d = demand.as_dict()
+        freed = {dim: 0.0 for dim in DIMENSIONS}
+        for other in released:
+            od = other.as_dict()
+            for dim in DIMENSIONS:
+                freed[dim] += od[dim]
+        return all(
+            self.in_use[dim] - freed[dim] + d[dim]
+            <= self.capacity[dim] + self._tolerance(dim)
+            for dim in DIMENSIONS
+        )
+
     def can_ever_fit(self, demand: QueryDemand) -> bool:
         d = demand.as_dict()
         return all(
@@ -177,7 +227,20 @@ class ResourceBudget:
             self.peak[dim] = max(self.peak[dim], self.in_use[dim])
 
     def release(self, demand: QueryDemand) -> None:
+        """Return an allocated demand; raises on over-release.
+
+        Conservation is checked *before* any dimension is mutated, so a
+        rejected release leaves the budget untouched (no partial
+        accounting to unwind).
+        """
         d = demand.as_dict()
+        for dim in DIMENSIONS:
+            if d[dim] > self.in_use[dim] + self._tolerance(dim):
+                raise ValueError(
+                    f"over-release on {dim}: releasing {d[dim]!r} with only "
+                    f"{self.in_use[dim]!r} in use (was this demand ever "
+                    f"allocated?)"
+                )
         for dim in DIMENSIONS:
             self.in_use[dim] -= d[dim]
             self.total_released[dim] += d[dim]
@@ -211,15 +274,37 @@ class QuerySession:
     config: ExecutionConfig
     het: HetPlan
     demand: QueryDemand
-    #: 'queued' -> 'running' -> 'done' | 'failed'
+    #: 'queued' -> 'running' [-> 'paused' -> 'running'] -> 'done'|'failed';
+    #: 'shed' is terminal-at-submission (bounded queue overflowed)
     status: str = "queued"
+    qos: QoS = field(default_factory=QoS)
+    #: times a lower-ranked session was admitted past this one while it
+    #: sat blocked at the head (drives the anti-starvation barrier)
+    bypassed: int = 0
     submit_time: float = 0.0
     admit_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: absolute simulated-time deadline (submit_time + qos.deadline_seconds)
+    deadline: Optional[float] = None
     result: Optional[QueryResult] = None
     error: Optional[BaseException] = None
     #: pipelines freshly compiled (cache misses) for this session
     compiled_fresh: int = 0
+    #: times this session was paused at a phase boundary
+    preemptions: int = 0
+    #: simulated seconds spent paused at preemption checkpoints
+    suspended_seconds: float = 0.0
+    #: when the current pause began (None while not paused)
+    pause_started: Optional[float] = None
+    #: scheduler asked the session to yield at its next phase boundary
+    preempt_requested: bool = False
+    #: the session holds (part of) its demand in the shared budget
+    holds_budget: bool = False
+    #: exactly what is currently charged to the budget: the full demand
+    #: while running, only the memory share while paused
+    held_demand: Optional[QueryDemand] = None
+    #: triggered by the scheduler to resume a paused session
+    resume_event: Optional[Event] = None
     #: triggered when the session reaches a terminal state
     done: Optional[Event] = None
 
@@ -228,8 +313,18 @@ class QuerySession:
         return f"q{self.query_id}"
 
     @property
+    def priority(self) -> int:
+        # the demand is the single scheduling source of truth (the QoS
+        # merely seeded it at submission); qos keeps the reporting label
+        return self.demand.priority
+
+    @property
+    def label(self) -> str:
+        return self.qos.label
+
+    @property
     def finished(self) -> bool:
-        return self.status in ("done", "failed")
+        return self.status in ("done", "failed", "shed")
 
     @property
     def queue_seconds(self) -> Optional[float]:
@@ -239,15 +334,55 @@ class QuerySession:
 
     @property
     def service_seconds(self) -> Optional[float]:
+        """Active service time: admission to finish, minus the spans the
+        session sat paused at preemption checkpoints."""
         if self.finish_time is None or self.admit_time is None:
             return None
-        return self.finish_time - self.admit_time
+        return self.finish_time - self.admit_time - self.suspended_seconds
 
     @property
     def latency(self) -> Optional[float]:
         if self.finish_time is None:
             return None
         return self.finish_time - self.submit_time
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the SLO was met; None without a deadline or result.
+
+        A shed or failed session with a deadline counts as a miss: the
+        SLO was promised and the answer never produced.
+        """
+        if self.deadline is None:
+            return None
+        if self.status in ("shed", "failed"):
+            return False
+        if self.status != "done":
+            return None
+        return self.finish_time <= self.deadline + 1e-12
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not ordered:
+        return math.nan
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _compute_share(demand: QueryDemand) -> QueryDemand:
+    """What a *paused* query gives back: compute units and the PCIe
+    stream window.  Memory dimensions are excluded — see
+    :func:`_memory_share`."""
+    return replace(demand, dram_bytes=0.0, hbm_bytes=0.0)
+
+
+def _memory_share(demand: QueryDemand) -> QueryDemand:
+    """What a paused query keeps charged: the DRAM/HBM its operator
+    state (hash tables built in completed phases) still physically
+    occupies.  Releasing it would let admission place a query whose
+    runtime allocation then fails with out-of-device-memory."""
+    return replace(demand, pcie_bytes=0.0, cpu_cores=0, gpu_units=0)
 
 
 @dataclass
@@ -276,21 +411,78 @@ class BatchReport:
         return [s for s in self.sessions if s.status == "failed"]
 
     @property
+    def shed(self) -> list[QuerySession]:
+        return [s for s in self.sessions if s.status == "shed"]
+
+    @property
+    def preemptions(self) -> int:
+        return sum(s.preemptions for s in self.sessions)
+
+    @property
     def latencies(self) -> dict[str, float]:
-        """Latency per session, keyed by the unique session tag (names
-        are user-supplied and may repeat across resubmissions)."""
-        return {s.tag: s.latency for s in self.sessions if s.latency is not None}
+        """Latency per served session, keyed by the unique session tag
+        (names are user-supplied and may repeat across resubmissions).
+        Shed sessions are excluded — their zero "latency" is a refusal,
+        not a measurement."""
+        return {
+            s.tag: s.latency
+            for s in self.sessions
+            if s.latency is not None and s.status != "shed"
+        }
 
     @property
     def mean_latency(self) -> float:
         values = list(self.latencies.values())
         return sum(values) / len(values) if values else 0.0
 
+    def by_class(self) -> dict[str, list[QuerySession]]:
+        """Sessions grouped by their QoS label, in priority order."""
+        groups: dict[str, list[QuerySession]] = {}
+        for session in sorted(
+            self.sessions, key=lambda s: (-s.priority, s.query_id)
+        ):
+            groups.setdefault(session.label, []).append(session)
+        return groups
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50, 95, 99)
+    ) -> dict[str, dict[str, float]]:
+        """Per-class tail latency over *completed* sessions.
+
+        Returns ``{label: {"p50": ..., "p95": ..., "p99": ...}}`` using
+        nearest-rank percentiles (exact on the small, deterministic
+        sample sizes a simulated batch produces).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for label, group in self.by_class().items():
+            latencies = sorted(
+                s.latency for s in group if s.status == "done"
+            )
+            if not latencies:
+                continue
+            out[label] = {
+                f"p{pct:g}": _percentile(latencies, pct) for pct in percentiles
+            }
+        return out
+
+    def deadline_hit_rates(self) -> dict[str, float]:
+        """Per-class fraction of deadline-carrying sessions that met
+        their SLO (shed and failed sessions with deadlines count as
+        misses — the answer was promised and never produced)."""
+        out: dict[str, float] = {}
+        for label, group in self.by_class().items():
+            judged = [s for s in group if s.deadline_met is not None]
+            if not judged:
+                continue
+            out[label] = sum(1 for s in judged if s.deadline_met) / len(judged)
+        return out
+
     def summary(self) -> str:
         lines = [
-            f"{len(self.completed)} done, {len(self.failed)} failed in "
-            f"{self.makespan:.4f}s simulated "
-            f"({self.throughput_qps:.2f} queries/s)",
+            f"{len(self.completed)} done, {len(self.failed)} failed, "
+            f"{len(self.shed)} shed in {self.makespan:.4f}s simulated "
+            f"({self.throughput_qps:.2f} queries/s, "
+            f"{self.preemptions} preemption(s))",
         ]
         if self.cache:
             lines.append(
@@ -298,15 +490,45 @@ class BatchReport:
                 f"{self.cache.get('misses', 0)} misses "
                 f"(hit rate {self.cache.get('hit_rate', 0.0):.1%})"
             )
+        tails = self.latency_percentiles()
+        hit_rates = self.deadline_hit_rates()
+        for label, stats in tails.items():
+            parts = [f"class {label:12s}"] + [
+                f"{key}={value:.4f}s" for key, value in stats.items()
+            ]
+            if label in hit_rates:
+                parts.append(f"deadline-hit={hit_rates[label]:.0%}")
+            lines.append("  " + " ".join(parts))
         for session in self.sessions:
             mark = "ok" if session.status == "done" else session.status
             lat = f"{session.latency:.4f}s" if session.latency is not None else "-"
-            lines.append(f"  {session.name:12s} {mark:7s} latency={lat}")
+            extra = f" preempted x{session.preemptions}" if session.preemptions else ""
+            lines.append(f"  {session.name:12s} {mark:7s} latency={lat}{extra}")
         return "\n".join(lines)
 
 
 class EngineServer:
-    """A shared Proteus engine serving a concurrent stream of queries."""
+    """A shared Proteus engine serving a concurrent stream of queries.
+
+    Scheduling knobs:
+
+    * ``admission="sla"`` (default): the admission queue is ordered by
+      priority class then earliest deadline; small queries backfill past
+      a blocked head when their demand fits the remaining budget, and
+      (with ``preemption=True``) running lower-priority queries are
+      paused at phase boundaries when that unblocks a higher-priority
+      arrival.  ``admission="fifo"`` restores strict submission-order
+      head-of-line admission (the original serving behaviour).
+    * ``backfill_limit``: anti-starvation barrier — after a blocked head
+      has been bypassed this many times, backfill below it stops until
+      it is admitted, restoring the bounded-delay guarantee that strict
+      FIFO gave a large equal-priority query under a sustained stream of
+      small ones.  ``None`` disables the barrier (pure backfill).
+    * ``max_queue_depth``: bound on the number of *queued* (not yet
+      admitted) sessions; submissions beyond it are shed, which is how
+      an open-loop arrival stream is kept from growing the queue without
+      bound at overload.  ``None`` means unbounded (closed-loop safe).
+    """
 
     def __init__(
         self,
@@ -315,10 +537,22 @@ class EngineServer:
         budget: Optional[ResourceBudget] = None,
         max_concurrent: int = 8,
         compile_seconds: float = DEFAULT_COMPILE_SECONDS,
+        admission: str = "sla",
+        preemption: bool = True,
+        backfill_limit: Optional[int] = 64,
+        max_queue_depth: Optional[int] = None,
         **engine_kwargs: Any,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
+        if admission not in ("sla", "fifo"):
+            raise ValueError(
+                f"admission must be 'sla' or 'fifo', got {admission!r}"
+            )
+        if backfill_limit is not None and backfill_limit < 0:
+            raise ValueError("backfill_limit must be >= 0 (or None)")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
         if engine is not None and engine_kwargs:
             raise ValueError(
                 f"engine kwargs {sorted(engine_kwargs)} have no effect when "
@@ -335,9 +569,15 @@ class EngineServer:
         self.budget = budget or ResourceBudget.from_server(self.server)
         self.max_concurrent = max_concurrent
         self.compile_seconds = compile_seconds
+        self.admission = admission
+        self.preemption = preemption and admission == "sla"
+        self.backfill_limit = backfill_limit
+        self.max_queue_depth = max_queue_depth
         self.sessions: list[QuerySession] = []
-        self._pending: deque[QuerySession] = deque()
-        self._running = 0
+        self._pending: list[QuerySession] = []
+        self._paused: list[QuerySession] = []
+        #: sessions currently holding budget (admitted, not paused)
+        self._active_sessions: dict[int, QuerySession] = {}
         self._next_id = 0
         self._reported_ids: set[int] = set()
         self._clients: list = []
@@ -349,6 +589,10 @@ class EngineServer:
         #: driver's finally exactly once (budget release, done event, and —
         #: through yield-from delegation — the executor's state cleanup)
         self._drivers: dict[int, Any] = {}
+
+    @property
+    def _running(self) -> int:
+        return len(self._active_sessions)
 
     # -- data plane (delegates to the shared engine) -----------------------
 
@@ -366,21 +610,47 @@ class EngineServer:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, plan: Plan, config: ExecutionConfig,
-               name: Optional[str] = None) -> QuerySession:
+    def submit(
+        self,
+        plan: Plan,
+        config: ExecutionConfig,
+        name: Optional[str] = None,
+        qos: Optional[QoS] = None,
+        priority: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> QuerySession:
         """Queue a query for admission; callable before or during a run.
 
-        Raises :class:`AdmissionError` immediately when the estimated
-        demand exceeds the budget's total capacity (it could never run,
-        and FIFO admission would wedge every query behind it).
+        ``qos`` carries the scheduling contract (priority class +
+        deadline); ``priority``/``deadline_seconds`` are shorthands that
+        build one (mutually exclusive with ``qos``).  Shorthand
+        submissions with a non-zero priority report under their own
+        ``priority<+n>`` class so per-class percentiles never pool them
+        with plain batch traffic.  Raises
+        :class:`AdmissionError` immediately when the estimated demand
+        exceeds the budget's total capacity (it could never run).  When
+        the admission queue is bounded and full, the session is **shed**:
+        returned with status ``"shed"``, its ``done`` event triggered,
+        holding no resources.
         """
+        if qos is not None and (priority is not None or deadline_seconds is not None):
+            raise ValueError(
+                "pass either qos= or priority=/deadline_seconds=, not both"
+            )
+        if qos is None:
+            qos = QoS(
+                priority=priority or 0,
+                deadline_seconds=deadline_seconds,
+                label=f"priority{priority:+d}" if priority else "batch",
+            )
         het = self.placer.place(plan, config)
-        demand = self._estimate_demand(het, config)
+        demand = self._estimate_demand(het, config, qos)
         if not self.budget.can_ever_fit(demand):
             raise AdmissionError(
                 f"query demand {demand.as_dict()} exceeds server budget "
                 f"{self.budget.capacity}"
             )
+        now = self.sim.now
         session = QuerySession(
             query_id=self._next_id,
             name=name or f"q{self._next_id}",
@@ -388,11 +658,25 @@ class EngineServer:
             config=config,
             het=het,
             demand=demand,
-            submit_time=self.sim.now,
+            qos=qos,
+            submit_time=now,
+            deadline=(
+                now + demand.deadline_seconds
+                if demand.deadline_seconds is not None
+                else None
+            ),
             done=self.sim.event(name=f"q{self._next_id}:done"),
         )
         self._next_id += 1
         self.sessions.append(session)
+        if (
+            self.max_queue_depth is not None
+            and len(self._pending) >= self.max_queue_depth
+        ):
+            session.status = "shed"
+            session.finish_time = now
+            session.done.trigger(session)
+            return session
         self._pending.append(session)
         self._wake_admission()
         return session
@@ -400,15 +684,17 @@ class EngineServer:
     def submit_batch(
         self, items: Sequence[tuple[Plan, ExecutionConfig]],
         names: Optional[Sequence[str]] = None,
+        qos: Optional[QoS] = None,
     ) -> list[QuerySession]:
         return [
             self.submit(plan, config,
-                        name=names[i] if names else None)
+                        name=names[i] if names else None, qos=qos)
             for i, (plan, config) in enumerate(items)
         ]
 
     def spawn_client(self, plans: Sequence[Plan], config: ExecutionConfig,
-                     think_seconds: float = 0.0, name: str = "client"):
+                     think_seconds: float = 0.0, name: str = "client",
+                     qos: Optional[QoS] = None):
         """Closed-loop client: submit, await completion, think, repeat.
 
         A client that dies mid-loop (e.g. a later plan is rejected by
@@ -419,12 +705,54 @@ class EngineServer:
 
         def client():
             for index, plan in enumerate(plans):
-                session = self.submit(plan, config, name=f"{name}-{index}")
+                session = self.submit(plan, config, name=f"{name}-{index}",
+                                      qos=qos)
                 yield session.done
                 if think_seconds:
                     yield self.sim.timeout(think_seconds)
 
         proc = self.sim.process(client(), name=f"client:{name}")
+        self._clients.append(proc)
+        return proc
+
+    def spawn_open_loop(
+        self,
+        plans: Sequence[Plan],
+        config: ExecutionConfig,
+        *,
+        rate_qps: float,
+        arrivals: int,
+        seed: int = 0,
+        qos: Optional[QoS] = None,
+        name: str = "open",
+    ):
+        """Open-loop Poisson arrival generator (deterministic per seed).
+
+        Submits ``arrivals`` queries with exponentially distributed
+        inter-arrival gaps at mean rate ``rate_qps``, cycling through
+        ``plans``, *without* waiting for completions — arrival pressure
+        is independent of service capacity, which is what exposes
+        overload behaviour.  Pair with ``max_queue_depth`` so saturation
+        sheds instead of queueing without bound; shed sessions appear in
+        the drive's report with status ``"shed"``.
+        """
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if arrivals < 1:
+            raise ValueError("arrivals must be >= 1")
+        if not plans:
+            raise ValueError("plans must be non-empty")
+
+        def generator():
+            rng = random.Random(seed)
+            for index in range(arrivals):
+                yield self.sim.timeout(rng.expovariate(rate_qps))
+                self.submit(
+                    plans[index % len(plans)], config,
+                    name=f"{name}-{index}", qos=qos,
+                )
+
+        proc = self.sim.process(generator(), name=f"open:{name}")
         self._clients.append(proc)
         return proc
 
@@ -454,24 +782,10 @@ class EngineServer:
             )
 
     def _admission(self):
-        """FIFO admission: wait for budget headroom, then launch queries."""
+        """Admission pump: dispatch all admissible work, then sleep."""
         while True:
-            while not self._pending:
-                yield self._admission_event()
-            head = self._pending[0]
-            while (
-                self._running >= self.max_concurrent
-                or not self.budget.fits(head.demand)
-            ):
-                yield self._admission_event()
-            self._pending.popleft()
-            self.budget.allocate(head.demand)
-            head.status = "running"
-            head.admit_time = self.sim.now
-            self._running += 1
-            driver = self._query_proc(head)
-            self._drivers[head.query_id] = driver
-            self.sim.process(driver, name=f"{head.tag}:driver")
+            self._dispatch()
+            yield self._admission_event()
 
     def _admission_event(self) -> Event:
         event = self.sim.event(name="admission:wakeup")
@@ -483,6 +797,208 @@ class EngineServer:
         for event in waiters:
             if not event.triggered:
                 event.trigger(None)
+
+    # -- admission policy --------------------------------------------------
+
+    def _rank(self, session: QuerySession) -> tuple:
+        """Admission order: priority desc, deadline asc, submission order.
+
+        FIFO mode ranks purely by submission order (query ids are
+        monotonic), reproducing the original head-of-line behaviour.
+        """
+        if self.admission == "fifo":
+            return (session.query_id,)
+        deadline = session.deadline if session.deadline is not None else math.inf
+        return (-session.priority, deadline, session.submit_time,
+                session.query_id)
+
+    def _waiting(self) -> list[QuerySession]:
+        """Queued + paused sessions in admission order (paused sessions
+        re-enter the same priority queue to be resumed)."""
+        return sorted(self._pending + self._paused, key=self._rank)
+
+    @staticmethod
+    def _admission_need(session: QuerySession) -> QueryDemand:
+        """What admitting (or resuming) the session would charge now: a
+        paused session already holds its memory share, so only the
+        compute share must fit again."""
+        if session.status == "paused":
+            return _compute_share(session.demand)
+        return session.demand
+
+    def _dispatch(self) -> None:
+        """Admit (or resume) every session the policy allows right now.
+
+        While a preemption campaign is in flight (some running session
+        still carries a preempt request), backfill is suspended below
+        the blocked waiter's priority: the compute each pausing victim
+        frees is *reserved* for that waiter, otherwise a multi-victim
+        preemption can never accumulate enough headroom — the first
+        victim to pause would be backfill-resumed in the same instant.
+
+        Backfill is also bounded by the anti-starvation barrier: each
+        admission past a blocked head increments its ``bypassed`` count,
+        and once that reaches ``backfill_limit`` nothing further passes
+        it — the budget then drains until the head fits, giving a large
+        equal-priority query the bounded admission delay strict FIFO
+        used to guarantee.
+        """
+        while True:
+            campaign = self.preemption and any(
+                s.preempt_requested for s in self._active_sessions.values()
+            )
+            admitted = None
+            blocked_head: Optional[QuerySession] = None
+            for session in self._waiting():
+                if self._running >= self.max_concurrent:
+                    break
+                if self.budget.fits(self._admission_need(session)):
+                    if campaign and blocked_head is not None:
+                        # freed compute is reserved for the campaign's
+                        # blocked waiter; handing it to anything ranked
+                        # below the waiter — including an equal-priority,
+                        # later-deadline peer — would waste the pauses
+                        continue
+                    if blocked_head is not None:
+                        if (
+                            self.backfill_limit is not None
+                            and blocked_head.bypassed >= self.backfill_limit
+                        ):
+                            break  # barrier: stop starving the head
+                        blocked_head.bypassed += 1
+                    admitted = session
+                    break
+                if blocked_head is None:
+                    blocked_head = session
+                if self.admission == "fifo":
+                    break  # head-of-line blocking is the FIFO contract
+                # sla: backfill — a later, smaller query may still fit
+            if admitted is None:
+                break
+            self._activate(admitted)
+        if self.preemption:
+            self._maybe_preempt()
+
+    def _activate(self, session: QuerySession) -> None:
+        """Start a queued session or resume a paused one."""
+        self.budget.allocate(self._admission_need(session))
+        session.held_demand = session.demand
+        session.holds_budget = True
+        self._active_sessions[session.query_id] = session
+        if session.status == "paused":
+            self._paused.remove(session)
+            session.status = "running"
+            session.suspended_seconds += self.sim.now - session.pause_started
+            session.pause_started = None
+            resume, session.resume_event = session.resume_event, None
+            resume.trigger(None)
+            return
+        self._pending.remove(session)
+        session.status = "running"
+        session.admit_time = self.sim.now
+        driver = self._query_proc(session)
+        self._drivers[session.query_id] = driver
+        self.sim.process(driver, name=f"{session.tag}:driver")
+
+    def _release(self, session: QuerySession) -> None:
+        """Give back whatever the session still holds (terminal state)."""
+        held, session.held_demand = session.held_demand, None
+        session.holds_budget = False
+        self._active_sessions.pop(session.query_id, None)
+        self.budget.release(held)
+
+    def _preemptable(self, session: QuerySession) -> bool:
+        """Can this running session still honour a preemption request?
+
+        A query in its final wave has no checkpoint ahead; asking it to
+        yield would leave a stale request that blocks better victims.
+        One that has not entered execution yet (still paying compile
+        latency) has every *planned* boundary ahead of it, so the
+        request is made now and honoured at its first boundary.
+        """
+        remaining = self.executor.checkpoints_remaining(session.tag)
+        if remaining is None:
+            remaining = self.executor.planned_checkpoints(session.het)
+        return remaining > 0
+
+    def _maybe_preempt(self) -> None:
+        """Request phase-boundary preemption when it unblocks a waiter.
+
+        Finds the highest-ranked waiting session that cannot currently
+        be admitted, then marks the cheapest set of strictly-lower-
+        priority running victims whose *compute share* would let it fit
+        (pausing frees cores/GPUs/PCIe only — resident operator state
+        keeps its memory charged).  If no such set exists the request is
+        not made at all — pausing queries without unblocking anyone only
+        wastes phase boundaries.
+        """
+        waiting = self._waiting()
+        if not waiting:
+            return
+        blocked = waiting[0]
+        need = self._admission_need(blocked)
+        pending = [
+            s for s in self._active_sessions.values()
+            if s.preempt_requested and self._preemptable(s)
+        ]
+        pending_release = [_compute_share(s.demand) for s in pending]
+        free_slots = self.max_concurrent - self._running + len(pending)
+        if free_slots >= 1 and self.budget.fits_with_release(
+            need, pending_release
+        ):
+            return  # already-requested preemptions will unblock it
+        victims = sorted(
+            (
+                s for s in self._active_sessions.values()
+                if s.priority < blocked.priority
+                and not s.preempt_requested
+                and self._preemptable(s)
+            ),
+            key=lambda s: (s.priority, -(s.admit_time or 0.0), -s.query_id),
+        )
+        chosen: list[QuerySession] = []
+        releases = list(pending_release)
+        for victim in victims:
+            chosen.append(victim)
+            releases.append(_compute_share(victim.demand))
+            if (
+                free_slots + len(chosen) >= 1
+                and self.budget.fits_with_release(need, releases)
+            ):
+                for session in chosen:
+                    session.preempt_requested = True
+                return
+
+    def _make_checkpoint(self, session: QuerySession):
+        """The executor-side preemption hook for one session."""
+
+        def checkpoint() -> Optional[Event]:
+            if not session.preempt_requested:
+                return None
+            session.preempt_requested = False
+            # The requester may already have finished (e.g. it fit after
+            # another session completed): only pause if yielding still
+            # serves a higher-priority waiter.
+            if not any(
+                w.priority > session.priority for w in self._waiting()
+            ):
+                return None
+            session.status = "paused"
+            session.preemptions += 1
+            session.pause_started = self.sim.now
+            # compute share back to the pool; memory stays charged for
+            # the hash tables resident in the suspended generator
+            self.budget.release(_compute_share(session.demand))
+            session.held_demand = _memory_share(session.demand)
+            self._active_sessions.pop(session.query_id, None)
+            session.resume_event = self.sim.event(
+                name=f"{session.tag}:resume"
+            )
+            self._paused.append(session)
+            self._wake_admission()
+            return session.resume_event
+
+        return checkpoint
 
     def _query_proc(self, session: QuerySession):
         """DES driver for one admitted query: compile, execute, collect."""
@@ -503,6 +1019,7 @@ class EngineServer:
             raw = yield from self.executor.execute_process(
                 session.het, session.config,
                 query_id=session.tag, pipelines=pipelines,
+                checkpoint=self._make_checkpoint(session),
             )
             session.result = self.engine._collect(session.het.collect, raw)
             session.status = "done"
@@ -510,10 +1027,18 @@ class EngineServer:
             session.status = "failed"
             session.error = error
         finally:
+            session.preempt_requested = False
             self._drivers.pop(session.query_id, None)
             session.finish_time = self.sim.now
-            self._running -= 1
-            self.budget.release(session.demand)
+            if session.pause_started is not None:
+                # closed while parked: the tail of the pause counts too
+                session.suspended_seconds += self.sim.now - session.pause_started
+                session.pause_started = None
+            if session in self._paused:
+                # closed while parked at a checkpoint (stall cleanup)
+                self._paused.remove(session)
+            if session.holds_budget:
+                self._release(session)
             if session.done is not None and not session.done.triggered:
                 session.done.trigger(session)
             self._wake_admission()
@@ -526,19 +1051,23 @@ class EngineServer:
         stuck session's budget and trigger its done event.
         """
         problems: list[str] = []
-        stuck = [s for s in self.sessions if s.status == "running"]
+        stuck = [s for s in self.sessions if s.status in ("running", "paused")]
         if stuck:
             details = "; ".join(
-                f"{s.name}: {self.executor.describe_stall(s.tag)}" for s in stuck
+                f"{s.name}: parked at a preemption checkpoint with no "
+                f"scheduler left to resume it"
+                if s.status == "paused"
+                else f"{s.name}: {self.executor.describe_stall(s.tag)}"
+                for s in stuck
             )
             for session in stuck:
                 driver = self._drivers.pop(session.query_id, None)
                 if driver is not None:
                     # The driver's finally is the ONLY cleanup path: it
-                    # releases the budget, decrements _running, triggers
-                    # the done event, and (via yield-from) frees the
-                    # executor's state handles — closing it here must not
-                    # be duplicated by manual book-keeping.
+                    # releases the budget, triggers the done event, and
+                    # (via yield-from) frees the executor's state handles
+                    # — closing it here must not be duplicated by manual
+                    # book-keeping.
                     driver.close()
                 session.status = "failed"
                 session.error = SchedulerError(details)
@@ -591,7 +1120,8 @@ class EngineServer:
         Checks the admission budget (allocated == released, nothing in
         use), that no operator-state allocation outlived its query on
         any memory node, and that every staging-arena slot is either
-        free or parked in a remote cache (failed queries included).
+        free or parked in a remote cache (failed and shed queries
+        included).
         """
         self.budget.assert_conserved()
         for node_id, manager in self.executor.memory_managers.items():
@@ -616,13 +1146,17 @@ class EngineServer:
 
     # -- demand estimation -------------------------------------------------
 
-    def _estimate_demand(self, het: HetPlan, config: ExecutionConfig) -> QueryDemand:
+    def _estimate_demand(
+        self, het: HetPlan, config: ExecutionConfig, qos: QoS
+    ) -> QueryDemand:
         """Cost-model demand estimate for one placed plan.
 
         Streamed bytes come from the working set of every segmenter
         source; state bytes from each build phase's key+payload columns
         (plus the hash table's bucket overhead).  GPU configurations
         whose probe inputs reside in host memory stream them over PCIe.
+        The QoS contract rides along on the demand so the admission
+        queue can rank entries without a side channel.
         """
         streamed = 0.0
         state_bytes = 0.0
@@ -666,4 +1200,6 @@ class EngineServer:
             gpu_units=len(config.gpu_ids),
             gpu_streaming=gpu_streaming,
             staging_bytes_per_worker=staging,
+            priority=qos.priority,
+            deadline_seconds=qos.deadline_seconds,
         )

@@ -33,7 +33,7 @@ Baselines reuse the model through :class:`EngineTuning` overrides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .specs import ServerSpec
@@ -115,6 +115,11 @@ class QueryDemand:
     the multi-query scheduler charges it against a shared
     :class:`~repro.engine.scheduler.ResourceBudget` and releases the exact
     same amounts on completion (conservation is asserted by tests).
+
+    ``priority`` and ``deadline_seconds`` travel with the demand so the
+    scheduler's admission queue can rank entries without a side channel;
+    they are *scheduling* attributes, not resources, and are therefore
+    excluded from :meth:`as_dict` (which defines the budget dimensions).
     """
 
     #: host DRAM held by operator state + staging (logical bytes)
@@ -127,8 +132,13 @@ class QueryDemand:
     cpu_cores: int = 0
     #: GPU devices the query launches kernels on
     gpu_units: int = 0
+    #: scheduling class: larger values are served first (0 = batch)
+    priority: int = 0
+    #: latency SLO relative to submission; None means no deadline
+    deadline_seconds: Optional[float] = None
 
     def as_dict(self) -> dict[str, float]:
+        """Budget dimensions only — never the scheduling attributes."""
         return {
             "dram_bytes": self.dram_bytes,
             "hbm_bytes": self.hbm_bytes,
@@ -269,6 +279,8 @@ class CostModel:
         gpu_units: int = 0,
         gpu_streaming: bool = False,
         staging_bytes_per_worker: float = 0.0,
+        priority: int = 0,
+        deadline_seconds: Optional[float] = None,
     ) -> QueryDemand:
         """Estimate a query's peak demand on the shared server.
 
@@ -297,6 +309,8 @@ class CostModel:
             pcie_bytes=pcie,
             cpu_cores=int(cpu_workers),
             gpu_units=int(gpu_units),
+            priority=priority,
+            deadline_seconds=deadline_seconds,
         )
 
     # -- fixed overheads ----------------------------------------------------

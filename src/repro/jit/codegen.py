@@ -25,7 +25,6 @@ how a real JIT engine keeps only live attributes in registers.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from ..algebra.expressions import Expression, OpCounts
 from ..algebra.physical import (

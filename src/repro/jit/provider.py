@@ -27,9 +27,8 @@ The observable provider differences (asserted by tests):
 
 from __future__ import annotations
 
-import textwrap
 from types import CodeType
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

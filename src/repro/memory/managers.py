@@ -23,8 +23,7 @@ what makes the DBMS G Q4.3 failure reproducible).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

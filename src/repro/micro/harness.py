@@ -14,7 +14,7 @@ initialisation and thread pinning dominating tiny inputs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..engine.config import ExecutionConfig

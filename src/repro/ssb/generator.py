@@ -21,14 +21,13 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from ..storage.column import Column
 from ..storage.table import Table
 from ..storage.types import DataType
-from .schema import MFGRS, NATIONS, REGIONS, rows_at_scale
+from .schema import NATIONS, REGIONS, rows_at_scale
 
 __all__ = ["SSBGenerator", "generate_ssb", "physical_rows"]
 

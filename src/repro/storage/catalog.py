@@ -128,7 +128,7 @@ class Catalog:
         placement stays CPU-interleaved, and ``replicas`` records the full
         copies so scans can read the local replica.
         """
-        table = self.table(name)
+        self.table(name)  # validates the table is registered
         self.place_interleaved(name)
         self.replicas[name] = {gpu.memory.node_id for gpu in self.server.gpus}
 

@@ -1,8 +1,6 @@
 """Tests for the DBMS C and DBMS G baseline proxies."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.baselines import DBMSC, DBMSG, GpuMemoryError, UnsupportedQueryError
@@ -137,9 +135,6 @@ class TestDBMSG:
         assert narrow >= broad * 0.6
 
     def test_non_star_plan_rejected(self, tables):
-        plan = (scan("date", ["d_datekey", "d_year"])
-                .groupby(["d_year"], [agg_sum(col("d_datekey"), "s")]))
-        # a dimension-only plan is star-shaped (no joins) and actually runs;
         # a projection inside a dimension is not supported by the dense
         # array layout
         inner = scan("date", ["d_datekey", "d_year"]).project(

@@ -5,14 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algebra.expressions import (
-    Between,
     Comparison,
     Literal,
-    Not,
     UnboundStringComparison,
     bind_strings,
     col,
-    lit,
 )
 from repro.storage.column import StringDictionary
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.algebra.expressions import col
 from repro.algebra.logical import (
-    LogicalJoin,
     OrderSpec,
     agg_count,
     agg_max,

@@ -8,7 +8,6 @@ from repro.algebra.logical import agg_sum, scan
 from repro.algebra.physical import (
     OpBuildSink,
     OpFilter,
-    OpGroupAggSink,
     OpPackSink,
     OpProbe,
     OpReduceSink,

@@ -17,7 +17,6 @@ from repro.algebra.physical import (
     OpUnpack,
     Stage,
 )
-from repro.hardware.costmodel import BlockStats
 from repro.hardware.topology import DeviceType
 from repro.jit.codegen import CodegenError, PipelineCompiler
 from repro.jit.pipeline import QueryState
@@ -101,10 +100,11 @@ class TestCodegen:
         assert stats.cpu_cycles > 0 and stats.gpu_ops > 0
 
     def test_source_differs_by_provider(self):
-        ops = lambda: [
-            OpUnpack(["a"]),
-            OpReduceSink([AggSpec("sum", col("a"), "s")]),
-        ]
+        def ops():
+            return [
+                OpUnpack(["a"]),
+                OpReduceSink([AggSpec("sum", col("a"), "s")]),
+            ]
         cpu = _compile(ops(), DeviceType.CPU)
         gpu = _compile(ops(), DeviceType.GPU)
         assert "state.acc_s +=" in cpu.source
@@ -113,11 +113,12 @@ class TestCodegen:
         assert "PTX" in gpu.source and "x86" in cpu.source
 
     def test_gpu_pipeline_computes_same_result(self):
-        ops = lambda: [
-            OpUnpack(["a"]),
-            OpFilter(col("a") % 1 == 0) if False else OpFilter(col("a") > 5),
-            OpReduceSink([AggSpec("sum", col("a"), "s")]),
-        ]
+        def ops():
+            return [
+                OpUnpack(["a"]),
+                OpFilter(col("a") % 1 == 0) if False else OpFilter(col("a") > 5),
+                OpReduceSink([AggSpec("sum", col("a"), "s")]),
+            ]
         cols = {"a": np.arange(50, dtype=np.int64)}
         cpu_pipeline = _compile(ops(), DeviceType.CPU)
         gpu_pipeline = _compile(ops(), DeviceType.GPU)

@@ -11,7 +11,6 @@ single-block inputs, and partial flush blocks.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import ExecutionConfig, Proteus

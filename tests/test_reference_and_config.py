@@ -1,6 +1,5 @@
 """Tests for the reference executor and execution configurations."""
 
-import numpy as np
 import pytest
 
 from repro import ExecutionConfig

@@ -1,0 +1,577 @@
+"""SLA-aware scheduling: priorities, deadlines, preemption, open-loop load.
+
+Differential anchor: every query that completes — whether it queued,
+backfilled past a blocked head, or was paused at a phase boundary and
+resumed — must produce exactly the rows of the independent reference
+executor.  The rest pins the scheduling semantics themselves: admission
+order (priority, then earliest deadline, then submission), backfill
+vs FIFO head-of-line blocking, phase-boundary preemption edge cases,
+bounded-queue shedding under open-loop Poisson arrivals, and the
+budget's over-release guard.
+"""
+
+import math
+
+import pytest
+
+from repro import EngineServer, ExecutionConfig, QoS, ResourceBudget
+from repro.algebra.expressions import col
+from repro.algebra.logical import agg_sum, scan
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.scheduler import BatchReport, QuerySession, _percentile
+from repro.hardware.costmodel import QueryDemand
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.005, seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference(tables):
+    return ReferenceExecutor(tables)
+
+
+def _server(tables, **kwargs):
+    kwargs.setdefault("compile_seconds", 0.0)
+    server = EngineServer(segment_rows=2048, **kwargs)
+    load_ssb(server.engine, tables=tables)
+    return server
+
+
+def _config(workers=4):
+    return ExecutionConfig.cpu_only(workers, block_tuples=4096)
+
+
+def _submit_later(server, delay, plan, config, **kwargs):
+    """Submit from inside the simulation, ``delay`` seconds in."""
+    holder = {}
+
+    def arrival():
+        yield server.sim.timeout(delay)
+        holder["session"] = server.submit(plan, config, **kwargs)
+
+    server.sim.process(arrival(), name=f"arrival+{delay:g}")
+    return holder
+
+
+#: a plan with no joins places as a single phase: its only wave is also
+#: its last, so it exposes the preempt-during-last-phase no-op
+SINGLE_PHASE_PLAN = scan("lineorder", ["lo_revenue"]).reduce(
+    [agg_sum(col("lo_revenue"), "rev")]
+)
+
+#: same shape but streaming four columns — slow enough to still be
+#: running when a join query reaches its first phase boundary
+WIDE_SINGLE_PHASE_PLAN = scan(
+    "lineorder",
+    ["lo_revenue", "lo_extendedprice", "lo_ordtotalprice", "lo_quantity"],
+).reduce([agg_sum(col("lo_revenue"), "rev")])
+
+
+class TestAdmissionOrdering:
+    def test_priority_beats_submission_order(self, tables, reference):
+        server = _server(tables, max_concurrent=1)
+        low = server.submit(
+            ssb_query("Q1.1"), _config(), name="low", qos=QoS.background()
+        )
+        high = server.submit(
+            ssb_query("Q1.2"), _config(), name="high", qos=QoS.interactive()
+        )
+        server.run()
+        assert high.admit_time < low.admit_time
+        assert high.finish_time < low.finish_time
+        for session, qid in ((low, "Q1.1"), (high, "Q1.2")):
+            expected = reference.execute(ssb_query(qid))
+            assert sorted(session.result.rows) == sorted(expected)
+
+    def test_earliest_deadline_first_within_class(self, tables):
+        server = _server(tables, max_concurrent=1)
+        relaxed = server.submit(
+            ssb_query("Q1.1"),
+            _config(),
+            name="relaxed",
+            qos=QoS(priority=5, deadline_seconds=10.0),
+        )
+        urgent = server.submit(
+            ssb_query("Q1.2"),
+            _config(),
+            name="urgent",
+            qos=QoS(priority=5, deadline_seconds=0.5),
+        )
+        server.run()
+        assert urgent.admit_time < relaxed.admit_time
+
+    def test_backfill_lets_small_query_pass_blocked_head(self, tables):
+        budget = ResourceBudget(cpu_cores=6)
+        server = _server(tables, max_concurrent=8, budget=budget)
+        first = server.submit(ssb_query("Q1.1"), _config(4), name="first")
+        blocked_head = server.submit(ssb_query("Q2.1"), _config(4), name="head")
+        small = server.submit(ssb_query("Q1.2"), _config(2), name="small")
+        server.run()
+        # the 2-core query slipped past the blocked 4-core head and ran
+        # alongside the first query; the head waited for cores
+        assert small.admit_time == first.admit_time
+        assert blocked_head.admit_time > small.admit_time
+        server.check_conservation()
+
+    def test_backfill_limit_bounds_starvation_of_blocked_head(self, tables):
+        """A large equal-priority query must not be starved forever by a
+        staggered stream of small backfilling queries (something is
+        always running, so the 8-core head never fits): after
+        ``backfill_limit`` bypasses the barrier closes, the budget
+        drains, and the head is admitted before the remaining smalls."""
+        budget = ResourceBudget(cpu_cores=8)
+        server = _server(tables, max_concurrent=8, budget=budget, backfill_limit=2)
+        server.submit(ssb_query("Q1.1"), _config(4), name="s0")
+        big = server.submit(ssb_query("Q2.1"), _config(8), name="big")
+        holders = [
+            _submit_later(
+                server,
+                0.004 * (1 + index),
+                ssb_query("Q1.2"),
+                _config(4),
+                name=f"s{1 + index}",
+            )
+            for index in range(4)
+        ]
+        server.run()
+        assert big.status == "done"
+        # exactly two bypasses were tolerated, then the barrier held
+        assert big.bypassed == 2
+        later = [holders[2]["session"], holders[3]["session"]]
+        assert all(big.admit_time < s.admit_time for s in later)
+        server.check_conservation()
+
+    def test_fifo_mode_preserves_head_of_line_blocking(self, tables):
+        budget = ResourceBudget(cpu_cores=6)
+        server = _server(tables, max_concurrent=8, budget=budget, admission="fifo")
+        server.submit(ssb_query("Q1.1"), _config(4), name="first")
+        blocked_head = server.submit(ssb_query("Q2.1"), _config(4), name="head")
+        small = server.submit(ssb_query("Q1.2"), _config(2), name="small")
+        server.run()
+        # FIFO: nothing passes the blocked head, priorities are ignored
+        assert small.admit_time >= blocked_head.admit_time
+        server.check_conservation()
+
+    def test_fifo_mode_ignores_priorities(self, tables):
+        server = _server(tables, max_concurrent=1, admission="fifo")
+        low = server.submit(
+            ssb_query("Q1.1"), _config(), name="low", qos=QoS.background()
+        )
+        high = server.submit(
+            ssb_query("Q1.2"), _config(), name="high", qos=QoS.interactive()
+        )
+        server.run()
+        assert low.admit_time < high.admit_time
+
+    def test_qos_and_shorthand_are_mutually_exclusive(self, tables):
+        server = _server(tables)
+        with pytest.raises(ValueError, match="not both"):
+            server.submit(
+                ssb_query("Q1.1"),
+                _config(),
+                qos=QoS.interactive(),
+                priority=3,
+            )
+
+    def test_qos_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            QoS(priority=1, deadline_seconds=0.0)
+
+    def test_priority_shorthand_reports_under_own_class(self, tables):
+        """submit(priority=7) must not pool its latencies into the
+        priority-0 'batch' class in per-class reporting."""
+        server = _server(tables, max_concurrent=1)
+        server.submit(ssb_query("Q1.1"), _config(), name="plain")
+        hot = server.submit(ssb_query("Q1.2"), _config(), name="hot", priority=7)
+        report = server.run()
+        assert hot.label == "priority+7"
+        # the demand is the scheduling source of truth the queue ranks by
+        assert hot.demand.priority == 7
+        assert hot.priority == hot.demand.priority
+        tails = report.latency_percentiles()
+        assert set(tails) == {"priority+7", "batch"}
+        assert tails["priority+7"]["p99"] == hot.latency
+
+
+class TestPhaseBoundaryPreemption:
+    def test_preempted_query_resumes_byte_identical(self, tables, reference):
+        """A mid-run interactive arrival pauses the running background
+        query at its build->probe boundary; the resumed query's rows are
+        byte-identical to the reference and to an unpreempted run."""
+        solo_server = _server(tables, max_concurrent=1)
+        solo = solo_server.submit(ssb_query("Q2.1"), _config(4), name="solo")
+        solo_server.run()
+
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget)
+        victim = server.submit(
+            ssb_query("Q2.1"), _config(4), name="victim", qos=QoS.background()
+        )
+        holder = _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi",
+            qos=QoS.interactive(deadline_seconds=1.0),
+        )
+        report = server.run()
+        hi = holder["session"]
+        assert victim.status == "done" and hi.status == "done"
+        assert victim.preemptions == 1
+        assert report.preemptions == 1
+        assert hi.finish_time < victim.finish_time
+        assert hi.deadline_met is True
+        # the pause is visible in the victim's profile, not the high-
+        # priority query's latency
+        assert victim.result.profile.suspended_seconds > 0.0
+        assert hi.result.profile.suspended_seconds == 0.0
+        # session-level accounting agrees with the executor's, and
+        # service time excludes the suspended span
+        assert victim.suspended_seconds == pytest.approx(
+            victim.result.profile.suspended_seconds
+        )
+        assert victim.service_seconds == pytest.approx(
+            victim.finish_time - victim.admit_time - victim.suspended_seconds
+        )
+        expected = reference.execute(ssb_query("Q2.1"))
+        assert sorted(victim.result.rows) == sorted(expected)
+        assert victim.result.rows == solo.result.rows
+        server.check_conservation()
+
+    def test_preempt_during_last_phase_is_noop(self, tables, reference):
+        """A single-phase query is always in its final phase: requesting
+        preemption finds no remaining checkpoint and must change
+        nothing."""
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget)
+        victim = server.submit(
+            SINGLE_PHASE_PLAN, _config(4), name="victim", qos=QoS.background()
+        )
+        holder = _submit_later(
+            server,
+            0.001,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        hi = holder["session"]
+        assert victim.status == "done" and hi.status == "done"
+        assert victim.preemptions == 0
+        assert victim.result.profile.suspended_seconds == 0.0
+        # no checkpoint ever fired: the victim ran to completion first
+        assert hi.admit_time >= victim.finish_time
+        expected = reference.execute(SINGLE_PHASE_PLAN)
+        assert sorted(victim.result.rows) == sorted(expected)
+        server.check_conservation()
+
+    def test_preemption_disabled_keeps_victim_running(self, tables):
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget, preemption=False)
+        victim = server.submit(
+            ssb_query("Q2.1"), _config(4), name="victim", qos=QoS.background()
+        )
+        holder = _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        hi = holder["session"]
+        assert victim.preemptions == 0
+        assert hi.admit_time >= victim.finish_time
+        server.check_conservation()
+
+    def test_equal_priority_never_preempts(self, tables):
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget)
+        victim = server.submit(ssb_query("Q2.1"), _config(4), name="victim")
+        _submit_later(server, 0.002, ssb_query("Q1.1"), _config(4), name="peer")
+        server.run()
+        assert victim.preemptions == 0
+        server.check_conservation()
+
+    def test_final_phase_victim_is_skipped_for_preemptable_one(self, tables):
+        """A victim that can never yield (single phase, no checkpoint
+        ahead) must not absorb the preemption request: the planner skips
+        it and asks the join query that still has a boundary to cross."""
+        budget = ResourceBudget(cpu_cores=6)
+        server = _server(tables, max_concurrent=8, budget=budget)
+        join_victim = server.submit(
+            ssb_query("Q2.1"), _config(4), name="join", qos=QoS.background()
+        )
+        last_phase = server.submit(
+            WIDE_SINGLE_PHASE_PLAN,
+            _config(2),
+            name="last-phase",
+            qos=QoS.background(),
+        )
+        holder = _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        hi = holder["session"]
+        assert last_phase.preemptions == 0
+        assert join_victim.preemptions == 1
+        assert hi.finish_time < join_victim.finish_time
+        server.check_conservation()
+
+    def test_paused_query_keeps_memory_charged(self, tables):
+        """Pausing frees compute dimensions only: the victim's DRAM stays
+        charged (its hash tables remain resident), and is re-charged for
+        nothing on resume — visible in the budget's conservation totals."""
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget)
+        victim = server.submit(
+            ssb_query("Q2.1"), _config(4), name="victim", qos=QoS.background()
+        )
+        holder = _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        hi = holder["session"]
+        assert victim.preemptions == 1
+        # cpu cores: victim admitted + resumed (twice) plus hi once
+        expected_cores = victim.demand.cpu_cores * 2 + hi.demand.cpu_cores
+        assert budget.total_allocated["cpu_cores"] == expected_cores
+        # dram: charged exactly once per query — never released at the
+        # pause, never double-charged at the resume
+        expected_dram = victim.demand.dram_bytes + hi.demand.dram_bytes
+        assert budget.total_allocated["dram_bytes"] == pytest.approx(expected_dram)
+        server.check_conservation()
+
+    def test_multi_victim_preemption_accumulates_headroom(self, tables):
+        """A waiter too big for any single victim's release: backfill
+        must not resume the first paused victim while the second's
+        preempt request is still in flight, or the campaign can never
+        accumulate enough free compute."""
+        budget = ResourceBudget(cpu_cores=12)
+        server = _server(tables, max_concurrent=8, budget=budget)
+        first = server.submit(
+            ssb_query("Q4.1"), _config(6), name="v1", qos=QoS.background()
+        )
+        second = server.submit(
+            ssb_query("Q3.1"), _config(6), name="v2", qos=QoS.background()
+        )
+        holder = _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(12),
+            name="hi",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        hi = holder["session"]
+        assert first.preemptions == 1 and second.preemptions == 1
+        # both pauses were real (no same-instant backfill resume)...
+        assert first.suspended_seconds > 0.0
+        assert second.suspended_seconds > 0.0
+        # ...and they actually served the waiter: it was admitted on the
+        # accumulated headroom, not after a victim's natural completion
+        assert hi.admit_time < min(first.finish_time, second.finish_time)
+        assert all(s.status == "done" for s in (first, second, hi))
+        server.check_conservation()
+
+    def test_preemption_survives_multiple_rounds(self, tables, reference):
+        """Two successive interactive arrivals pause the same background
+        query at two different phase boundaries; it still finishes with
+        exact results."""
+        budget = ResourceBudget(cpu_cores=4)
+        server = _server(tables, max_concurrent=4, budget=budget)
+        victim = server.submit(
+            ssb_query("Q4.1"), _config(4), name="victim", qos=QoS.background()
+        )
+        _submit_later(
+            server,
+            0.002,
+            ssb_query("Q1.1"),
+            _config(4),
+            name="hi-0",
+            qos=QoS.interactive(),
+        )
+        _submit_later(
+            server,
+            0.030,
+            ssb_query("Q1.2"),
+            _config(4),
+            name="hi-1",
+            qos=QoS.interactive(),
+        )
+        server.run()
+        assert victim.status == "done"
+        assert victim.preemptions >= 1
+        expected = reference.execute(ssb_query("Q4.1"))
+        assert sorted(victim.result.rows) == sorted(expected)
+        server.check_conservation()
+
+
+class TestOpenLoopArrivals:
+    def test_bounded_queue_sheds_under_overload(self, tables):
+        server = _server(
+            tables,
+            max_concurrent=2,
+            max_queue_depth=3,
+            budget=ResourceBudget(cpu_cores=8),
+        )
+        plans = [ssb_query(q) for q in ("Q1.1", "Q2.1", "Q3.1")]
+        server.spawn_open_loop(plans, _config(4), rate_qps=400.0, arrivals=30, seed=7)
+        report = server.run()
+        assert len(report.shed) > 0
+        assert len(report.completed) + len(report.shed) == 30
+        assert not report.failed
+        # shed sessions hold nothing: budget drained, no staging slots
+        # or state handles leaked anywhere
+        server.check_conservation()
+        leaked = server.engine.blocks.unaccounted_blocks()
+        assert all(count == 0 for count in leaked.values())
+        for session in report.shed:
+            assert session.done.triggered
+            assert session.queue_seconds is None
+
+    def test_open_loop_is_deterministic_per_seed(self, tables):
+        def drive(seed):
+            server = _server(
+                tables,
+                max_concurrent=2,
+                max_queue_depth=3,
+                budget=ResourceBudget(cpu_cores=8),
+            )
+            plans = [ssb_query(q) for q in ("Q1.1", "Q2.1", "Q3.1")]
+            server.spawn_open_loop(
+                plans, _config(4), rate_qps=400.0, arrivals=20, seed=seed
+            )
+            report = server.run()
+            return report.makespan, [s.status for s in report.sessions]
+
+        makespan_a, statuses_a = drive(seed=11)
+        makespan_b, statuses_b = drive(seed=11)
+        makespan_c, statuses_c = drive(seed=12)
+        assert makespan_a == makespan_b
+        assert statuses_a == statuses_b
+        # a different seed produces a different arrival pattern
+        assert (makespan_a, statuses_a) != (makespan_c, statuses_c)
+
+    def test_unbounded_queue_never_sheds(self, tables):
+        server = _server(tables, max_concurrent=2, budget=ResourceBudget(cpu_cores=8))
+        plans = [ssb_query(q) for q in ("Q1.1", "Q1.2")]
+        server.spawn_open_loop(plans, _config(4), rate_qps=400.0, arrivals=12, seed=3)
+        report = server.run()
+        assert not report.shed
+        assert len(report.completed) == 12
+        server.check_conservation()
+
+    def test_open_loop_validates_arguments(self, tables):
+        server = _server(tables)
+        with pytest.raises(ValueError, match="rate_qps"):
+            server.spawn_open_loop(
+                [ssb_query("Q1.1")], _config(), rate_qps=0.0, arrivals=1
+            )
+        with pytest.raises(ValueError, match="arrivals"):
+            server.spawn_open_loop(
+                [ssb_query("Q1.1")], _config(), rate_qps=1.0, arrivals=0
+            )
+        with pytest.raises(ValueError, match="plans"):
+            server.spawn_open_loop([], _config(), rate_qps=1.0, arrivals=1)
+
+
+class TestBudgetOverRelease:
+    def test_release_of_never_allocated_demand_raises(self):
+        budget = ResourceBudget(cpu_cores=8, dram_bytes=1e9)
+        with pytest.raises(ValueError, match="over-release"):
+            budget.release(QueryDemand(cpu_cores=4))
+
+    def test_double_release_raises_and_leaves_budget_intact(self):
+        budget = ResourceBudget(cpu_cores=8)
+        demand = QueryDemand(cpu_cores=4, dram_bytes=1e6)
+        budget.allocate(demand)
+        budget.release(demand)
+        with pytest.raises(ValueError, match="over-release"):
+            budget.release(demand)
+        # the failed release mutated nothing: conservation still holds
+        budget.assert_conserved()
+
+    def test_partial_over_release_mutates_nothing(self):
+        budget = ResourceBudget(cpu_cores=8, dram_bytes=1e9)
+        budget.allocate(QueryDemand(cpu_cores=4))
+        # dram fits (0 <= 0) but cpu over-releases: nothing is applied
+        with pytest.raises(ValueError, match="over-release"):
+            budget.release(QueryDemand(cpu_cores=6))
+        assert budget.in_use["cpu_cores"] == 4.0
+        assert budget.total_released["cpu_cores"] == 0.0
+        budget.release(QueryDemand(cpu_cores=4))
+        budget.assert_conserved()
+
+
+class TestReporting:
+    @staticmethod
+    def _session(query_id, status, latency, qos, deadline=None):
+        session = QuerySession(
+            query_id=query_id,
+            name=f"s{query_id}",
+            plan=None,
+            config=None,
+            het=None,
+            demand=QueryDemand(),
+            qos=qos,
+            submit_time=0.0,
+            deadline=deadline,
+        )
+        session.status = status
+        if status in ("done", "failed", "shed"):
+            session.finish_time = latency
+        return session
+
+    def test_percentiles_are_nearest_rank(self):
+        values = [float(n) for n in range(1, 101)]
+        assert _percentile(values, 50) == 50.0
+        assert _percentile(values, 95) == 95.0
+        assert _percentile(values, 99) == 99.0
+        assert _percentile([7.0], 99) == 7.0
+        assert math.isnan(_percentile([], 50))
+
+    def test_per_class_percentiles_and_preemptions(self):
+        fast = QoS.interactive()
+        slow = QoS.background()
+        sessions = [self._session(i, "done", 0.01 * (i + 1), fast) for i in range(4)]
+        sessions += [self._session(10 + i, "done", 1.0 + i, slow) for i in range(2)]
+        sessions[0].preemptions = 2
+        report = BatchReport(sessions=sessions, makespan=3.0, throughput_qps=2.0)
+        tails = report.latency_percentiles()
+        assert tails["interactive"]["p50"] == pytest.approx(0.02)
+        assert tails["interactive"]["p99"] == pytest.approx(0.04)
+        assert tails["background"]["p99"] == pytest.approx(2.0)
+        assert report.preemptions == 2
+        assert "interactive" in report.summary()
+
+    def test_deadline_hit_rate_counts_shed_and_failed_as_misses(self):
+        qos = QoS(priority=5, deadline_seconds=1.0, label="slo")
+        sessions = [
+            self._session(0, "done", 0.5, qos, deadline=1.0),
+            self._session(1, "done", 2.0, qos, deadline=1.0),
+            self._session(2, "shed", 0.0, qos, deadline=1.0),
+            self._session(3, "failed", 0.4, qos, deadline=1.0),
+        ]
+        report = BatchReport(sessions=sessions, makespan=2.0, throughput_qps=1.0)
+        # 1 hit out of 4 judged: late, shed and failed all count as misses
+        assert report.deadline_hit_rates() == {"slo": pytest.approx(1 / 4)}
+        # shed sessions are refusals, not latency samples
+        assert len(report.latencies) == 3

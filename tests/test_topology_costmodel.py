@@ -12,7 +12,7 @@ from repro.hardware.costmodel import (
 )
 from repro.hardware.sim import Simulator
 from repro.hardware.specs import PAPER_SERVER, ServerSpec
-from repro.hardware.topology import DeviceType, Server
+from repro.hardware.topology import Server
 
 
 class TestSpecs:
@@ -55,8 +55,9 @@ class TestTopology:
     def test_links_on_path(self):
         server = self._server()
         assert server.links_on_path("cpu:0", "cpu:1") == []
-        assert [l.gpu_id for l in server.links_on_path("cpu:0", "gpu:0")] == [0]
-        assert sorted(l.gpu_id for l in
+        assert [link.gpu_id
+                for link in server.links_on_path("cpu:0", "gpu:0")] == [0]
+        assert sorted(link.gpu_id for link in
                       server.links_on_path("gpu:0", "gpu:1")) == [0, 1]
         assert server.links_on_path("gpu:0", "gpu:0") == []
 
