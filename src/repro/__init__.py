@@ -32,7 +32,7 @@ Packages:
 
 from .algebra.expressions import col, lit
 from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, scan
-from .engine.config import ExecutionConfig, QoS
+from .engine.config import ElasticPolicy, ExecutionConfig, QoS
 from .engine.proteus import Proteus
 from .engine.results import QueryResult
 from .engine.scheduler import EngineServer, ResourceBudget
@@ -44,6 +44,7 @@ __all__ = [
     "Proteus",
     "EngineServer",
     "ResourceBudget",
+    "ElasticPolicy",
     "ExecutionConfig",
     "QoS",
     "QueryResult",

@@ -23,7 +23,7 @@ function, specialised by the stage's device provider.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..hardware.topology import DeviceType
@@ -49,6 +49,8 @@ __all__ = [
     "HetPlan",
     "CollectSpec",
     "validate_stage_graph",
+    "validate_placement",
+    "validate_stage_placement",
     "PlanValidationError",
 ]
 
@@ -209,6 +211,31 @@ class Stage:
     def is_source(self) -> bool:
         return self.source is not None
 
+    def with_dop(self, dop: int, affinity: Optional[list[int]] = None) -> "Stage":
+        """Re-derive this stage at a different degree of parallelism.
+
+        The pipeline template (ops, device, name) and the ``stage_id``
+        are shared with the original: dop and affinity never reach the
+        generated code, so the structural cache signature — and any
+        compiled pipeline keyed by it, or held in a per-query pipelines
+        map keyed by stage id — still applies to the resized stage.
+        Only the parallelism traits are replaced.
+        """
+        if dop < 1:
+            raise PlanValidationError(
+                f"stage {self.name!r} cannot be resized to dop {dop}"
+            )
+        if affinity and len(affinity) != dop:
+            raise PlanValidationError(
+                f"stage {self.name!r} resized to dop {dop} with "
+                f"{len(affinity)} affinity entries"
+            )
+        # replace() keeps stage_id and every other field (present or
+        # added later) — only the parallelism traits change
+        return replace(
+            self, dop=dop, affinity=list(affinity) if affinity else []
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = type(self.sink).__name__
         return (
@@ -272,6 +299,37 @@ class Phase:
 
     def edges_to(self, stage: Stage) -> list[ExchangeEdge]:
         return [e for e in self.edges if e.consumer.stage_id == stage.stage_id]
+
+    def with_cpu_dop(self, dop: int, affinity: Optional[list[int]] = None) -> "Phase":
+        """Re-derive this phase with every CPU consumer stage resized.
+
+        Source stages (segmenters) and GPU stages are untouched: a GPU
+        stage's dop is pinned to the per-device hash-table domains built
+        by earlier phases, so only the CPU worker set is elastic.  Edges
+        are rebuilt to reference the resized stage objects; returns
+        ``self`` unchanged when the phase has no CPU consumer stage.
+        """
+        mapping: dict[int, Stage] = {}
+        stages: list[Stage] = []
+        for stage in self.stages:
+            if stage.device is DeviceType.CPU and not stage.is_source:
+                resized = stage.with_dop(dop, affinity)
+                mapping[stage.stage_id] = resized
+                stages.append(resized)
+            else:
+                stages.append(stage)
+        if not mapping:
+            return self
+        edges = [
+            replace(
+                edge,
+                producer=mapping.get(edge.producer.stage_id, edge.producer),
+                consumer=mapping.get(edge.consumer.stage_id, edge.consumer),
+            )
+            for edge in self.edges
+        ]
+        # replace() keeps every other field, present or added later
+        return replace(self, stages=stages, edges=edges)
 
 
 @dataclass
@@ -372,3 +430,42 @@ def validate_stage_graph(plan: HetPlan) -> None:
                 )
         if phase.produces_ht is not None:
             produced.add(phase.produces_ht)
+
+
+def validate_stage_placement(stage: Stage, num_cores: int, num_gpus: int) -> None:
+    """Check one stage's parallelism traits against the server's units.
+
+    The executor pins instance ``i`` to ``affinity[i]`` (or unit ``i``
+    when the affinity is empty); an out-of-range dop or affinity entry
+    used to surface as a bare ``IndexError`` deep in the instance
+    spawner.  Validating here gives callers — in particular an elastic
+    controller deciding grow requests — a typed error to clamp against
+    instead of a crash mid-execution.
+    """
+    if stage.is_source:
+        return  # segmenters are control-plane only; no instances spawned
+    limit = num_cores if stage.device is DeviceType.CPU else num_gpus
+    kind = "CPU cores" if stage.device is DeviceType.CPU else "GPUs"
+    if stage.affinity:
+        if len(stage.affinity) != stage.dop:
+            raise PlanValidationError(
+                f"stage {stage.name!r} has dop {stage.dop} but "
+                f"{len(stage.affinity)} affinity entries"
+            )
+        bad = [a for a in stage.affinity if a < 0 or a >= limit]
+        if bad:
+            raise PlanValidationError(
+                f"stage {stage.name!r} pins instances to {kind} {bad} but "
+                f"the server has only {limit}"
+            )
+    elif stage.dop > limit:
+        raise PlanValidationError(
+            f"stage {stage.name!r} requests dop {stage.dop} but the server "
+            f"has only {limit} {kind}"
+        )
+
+
+def validate_placement(plan: HetPlan, num_cores: int, num_gpus: int) -> None:
+    """Check every stage's dop/affinity against the server's units."""
+    for stage in plan.all_stages():
+        validate_stage_placement(stage, num_cores, num_gpus)

@@ -62,6 +62,7 @@ from .physical import (
     RouterPolicy,
     SegmentSource,
     Stage,
+    validate_placement,
     validate_stage_graph,
 )
 
@@ -110,6 +111,7 @@ class HeterogeneousPlacer:
         else:
             het = self._place_parallel(decomposition, config)
             validate_stage_graph(het)
+        validate_placement(het, len(self.server.cores), len(self.server.gpus))
         return het
 
     # -- string binding ----------------------------------------------------------
@@ -220,9 +222,14 @@ class HeterogeneousPlacer:
 
     # -- placement: parallel (HetExchange) ------------------------------------------
 
-    def _cpu_affinity(self, config: "ExecutionConfig") -> list[int]:
+    def cpu_affinity(self, config: "ExecutionConfig") -> list[int]:
         """Interleave workers across sockets (Figure 6: 'we interleave the
-        CPU cores between the two sockets')."""
+        CPU cores between the two sockets').
+
+        Public because the elastic-dop controller re-derives the
+        affinity of a resized CPU worker set with exactly the same
+        interleaving the original placement used.
+        """
         cores_by_socket = [list(s.cores) for s in self.server.sockets]
         order: list[int] = []
         if config.interleave_sockets:
@@ -266,7 +273,7 @@ class HeterogeneousPlacer:
                     device=DeviceType.CPU,
                     ops=list(ops),
                     dop=config.cpu_workers,
-                    affinity=self._cpu_affinity(config),
+                    affinity=self.cpu_affinity(config),
                 )
             )
         if config.uses_gpu:

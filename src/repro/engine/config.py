@@ -18,6 +18,11 @@ a modified copy for sweeps that vary one knob.
 one submission (priority class + latency SLO), as opposed to the
 *execution* shape above.  The :class:`~repro.engine.scheduler.EngineServer`
 ranks its admission queue by priority, then earliest deadline.
+
+:class:`ElasticPolicy` parameterises the server's elastic-dop controller:
+with ``EngineServer(elastic=True)`` the scheduler may shrink or grow a
+query's CPU worker set between phases, within ``[min_dop, max_dop]``,
+driven by the observed DRAM utilization against ``target_utilization``.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from typing import Optional, Sequence
 
 from ..hardware.topology import DeviceType
 
-__all__ = ["ExecutionConfig", "QoS"]
+__all__ = ["ExecutionConfig", "ElasticPolicy", "QoS"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,54 @@ class QoS:
         return cls(priority=-10, deadline_seconds=None, label="background")
 
     def derive(self, **overrides) -> "QoS":
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """Knobs of the elastic degree-of-parallelism controller.
+
+    At every phase boundary of a running query the scheduler samples the
+    shared resources' utilization over the most recent closed window of
+    ``window_seconds`` and re-plans the query's *remaining* waves:
+
+    * socket DRAM utilization above ``target_utilization`` means the
+      query's cores are contended — its CPU worker set is halved (never
+      below ``min_dop``), releasing the compute delta back to the
+      admission budget so co-resident queries stop starving;
+    * utilization below ``grow_below * target_utilization`` means the
+      server is under-utilized — the worker set is doubled (never above
+      ``max_dop``, the server's core count, or the budget's remaining
+      whole cores).
+
+    ``target_utilization`` may exceed 1.0; combined with ``grow_below``
+    this lets tests force deterministic always-shrink
+    (``target_utilization=0`` is rejected; use a tiny epsilon) or
+    always-grow (``target_utilization`` large) behaviour through pure
+    threshold comparisons rather than a mocking seam.
+    """
+
+    min_dop: int = 1
+    max_dop: Optional[int] = None
+    target_utilization: float = 0.85
+    #: grow when utilization is below this fraction of the target
+    grow_below: float = 0.5
+    #: minimum width of one utilization sampling window
+    window_seconds: float = 2e-3
+
+    def __post_init__(self):
+        if self.min_dop < 1:
+            raise ValueError("min_dop must be >= 1")
+        if self.max_dop is not None and self.max_dop < self.min_dop:
+            raise ValueError("max_dop must be >= min_dop (or None)")
+        if self.target_utilization <= 0:
+            raise ValueError("target_utilization must be positive")
+        if not 0.0 <= self.grow_below <= 1.0:
+            raise ValueError("grow_below must be in [0, 1]")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+
+    def derive(self, **overrides) -> "ElasticPolicy":
         return replace(self, **overrides)
 
 

@@ -46,6 +46,8 @@ from ..algebra.physical import (
     OpReduceSink,
     Phase,
     Stage,
+    validate_placement,
+    validate_stage_placement,
 )
 from ..core.device_crossing import Cpu2Gpu, Gpu2Cpu
 from ..core.mem_move import MemMove
@@ -255,6 +257,7 @@ class Executor:
         query_id: str = "q0",
         pipelines: Optional[dict[int, CompiledPipeline]] = None,
         checkpoint: Optional[Any] = None,
+        reconfigure: Optional[Any] = None,
     ):
         """DES process executing one query; returns a :class:`RawExecution`.
 
@@ -274,7 +277,35 @@ class Executor:
         resumed query continues bit-for-bit where it left off.  A query in
         its final wave has no remaining checkpoint: requesting preemption
         there is a no-op by construction.
+
+        ``reconfigure`` is the elastic-dop hook, consulted at the same
+        phase boundaries (after the checkpoint gate, so a resumed query
+        can be resized in the same instant).  Returning ``None`` keeps
+        the current shape; returning ``(new_config, cpu_affinity)``
+        re-derives every CPU consumer stage of the *remaining* waves at
+        ``new_config.cpu_workers`` instances pinned to ``cpu_affinity``
+        (:meth:`~repro.algebra.physical.Phase.with_cpu_dop`).  GPU
+        stages are never resized: their dop is pinned to the per-device
+        hash-table domains built by earlier phases.
         """
+        # Validate eagerly (this is a plain function returning the DES
+        # generator): an oversized dop or out-of-range affinity raises a
+        # typed PlanValidationError at the call site, not an IndexError
+        # after the simulator has started driving the query.
+        validate_placement(plan, len(self.server.cores), len(self.server.gpus))
+        return self._execute_gen(
+            plan, config, query_id, pipelines, checkpoint, reconfigure
+        )
+
+    def _execute_gen(
+        self,
+        plan: HetPlan,
+        config: ExecutionConfig,
+        query_id: str,
+        pipelines: Optional[dict[int, CompiledPipeline]],
+        checkpoint: Optional[Any],
+        reconfigure: Optional[Any],
+    ):
         if pipelines is None:
             pipelines = self.compile_plan(plan)
         query_state = QueryState(query_id=query_id)
@@ -293,6 +324,13 @@ class Executor:
                         pause_start = self.sim.now
                         yield gate
                         suspended_seconds += self.sim.now - pause_start
+                if reconfigure is not None and wave_index > 0:
+                    update = reconfigure()
+                    if update is not None:
+                        config, cpu_affinity = update
+                        self._apply_cpu_resize(
+                            waves, wave_index, config.cpu_workers, cpu_affinity
+                        )
                 wave_start = self.sim.now
                 runs = [
                     self._setup_phase(phase, config, pipelines, query_state,
@@ -333,6 +371,30 @@ class Executor:
         out.profile.seconds = self.sim.now - start
         out.profile.suspended_seconds = suspended_seconds
         return out
+
+    def _apply_cpu_resize(
+        self,
+        waves: list[list[Phase]],
+        wave_index: int,
+        dop: int,
+        affinity: Optional[list[int]],
+    ) -> None:
+        """Re-derive the remaining waves' CPU stages at a new dop.
+
+        Mutates the wave lists in place (the current iteration sees the
+        resized phases); the already-completed waves — and the caller's
+        :class:`HetPlan` — are left untouched.  The resized stages share
+        their originals' stage ids, so the per-query pipelines map keeps
+        resolving without recompilation.
+        """
+        for wave in waves[wave_index:]:
+            for position, phase in enumerate(wave):
+                resized = phase.with_cpu_dop(dop, affinity)
+                for stage in resized.stages:
+                    validate_stage_placement(
+                        stage, len(self.server.cores), len(self.server.gpus)
+                    )
+                wave[position] = resized
 
     def _abort_wave(self, runs: list["_PhaseRun"]) -> None:
         """Tear down a wave the query will never finish.

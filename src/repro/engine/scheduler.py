@@ -38,6 +38,25 @@ re-entrant executor:
   its final phase has no remaining checkpoint, so preempting it is a
   no-op (the scheduler never even asks: it consults
   :meth:`~repro.engine.executor.Executor.checkpoints_remaining`);
+* **elastic degree of parallelism**: with ``elastic=True`` the server
+  revisits each running query's CPU worker set at every phase boundary
+  (the same checkpoints preemption uses).  A sliding-window utilization
+  sample over the simulator's shared resources
+  (:attr:`~repro.hardware.resources.FifoResource.busy_time` /
+  :attr:`~repro.hardware.resources.BandwidthResource.busy_time`, both of
+  which include the open in-flight interval) drives the decision: a
+  query whose sockets are contended is *shrunk* for its remaining waves
+  — the freed cores go back to the admission budget, so starved
+  co-residents get in — and a query on an under-utilized server *grows*,
+  bounded by :class:`~repro.engine.config.ElasticPolicy`'s
+  ``[min_dop, max_dop]``, the server's core count and the budget's
+  remaining whole cores.  Only the compute delta moves through the
+  budget; the memory dimensions stay charged (the operator state and
+  staging estimate from admission remain resident).  Results are
+  unaffected: the resized stages share the original pipeline templates
+  (:meth:`~repro.algebra.physical.Stage.with_dop`), and SSB aggregates
+  are exact in float64, so elastic runs stay byte-identical to the
+  reference executor;
 * **open-loop arrivals**: :meth:`EngineServer.spawn_open_loop` is a
   Poisson arrival generator (seeded, deterministic) that submits without
   waiting for completions, the standard way to drive a server past
@@ -71,7 +90,7 @@ from ..hardware.costmodel import QueryDemand
 from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
-from .config import ExecutionConfig, QoS
+from .config import ElasticPolicy, ExecutionConfig, QoS
 from .executor import PREFETCH_DEPTH
 from .proteus import Proteus
 from .results import QueryResult
@@ -264,6 +283,106 @@ class ResourceBudget:
                 )
 
 
+class _UtilizationMonitor:
+    """Sliding-window utilization sampler over the shared DES resources.
+
+    Two families of per-resource figures, differenced across windows at
+    least ``window_seconds`` wide:
+
+    * **busy fraction** — share of the window during which the resource
+      served at least one job.  Cumulative busy times include the open
+      in-flight interval (see :attr:`FifoResource.busy_time` and
+      :attr:`BandwidthResource.busy_time` — the former used to fold only
+      on the release that idled the resource, silently under-counting
+      exactly this kind of mid-run sample).  The natural measure for
+      exclusive servers (GPU compute engines).
+    * **rate utilization** (``rate:`` keys, bandwidth resources only) —
+      fraction of the resource's *capacity* actually consumed
+      (``total_work_served`` delta over ``capacity * window``).  A
+      processor-sharing bus is "busy" the instant one rate-capped core
+      streams from it, so the busy fraction saturates at 1 under any
+      continuous load; the rate figure is the one that says whether
+      additional workers could still extract bandwidth.
+
+    A sample taken inside the current window returns the previous
+    *closed* window's figures, so co-scheduled queries probing at nearby
+    phase boundaries act on one consistent picture instead of
+    vanishingly small windows.
+    """
+
+    def __init__(self, sim, server: Server, window_seconds: float):
+        self.sim = sim
+        self.server = server
+        self.window_seconds = window_seconds
+        self._window_start = sim.now
+        self._busy_at_start = self._cumulative_busy()
+        self._served_at_start = self._cumulative_served()
+        self._closed: dict[str, float] = {}
+
+    def _bandwidth_resources(self):
+        for node_id, node in self.server.memory_nodes.items():
+            prefix = "dram" if node.kind is DeviceType.CPU else "hbm"
+            yield f"{prefix}:{node_id}", node.bandwidth
+        for gpu in self.server.gpus:
+            yield f"pcie:{gpu.gpu_id}", gpu.link.bandwidth
+
+    def _cumulative_busy(self) -> dict[str, float]:
+        busy = {key: bw.busy_time for key, bw in self._bandwidth_resources()}
+        for gpu in self.server.gpus:
+            busy[f"gpu:{gpu.gpu_id}"] = gpu.compute.busy_time
+        return busy
+
+    def _cumulative_served(self) -> dict[str, tuple[float, float]]:
+        return {
+            key: (bw.total_work_served, bw.capacity)
+            for key, bw in self._bandwidth_resources()
+        }
+
+    def sample(self) -> dict[str, float]:
+        """Per-resource utilization of the most recent closed window.
+
+        Empty until the first window closes (the controller then makes
+        no resize decision — better idle than acting on no signal).
+        """
+        now = self.sim.now
+        elapsed = now - self._window_start
+        if elapsed >= self.window_seconds:
+            busy = self._cumulative_busy()
+            served = self._cumulative_served()
+            closed = {
+                key: min(
+                    1.0,
+                    max(0.0, (busy[key] - self._busy_at_start.get(key, 0.0))
+                        / elapsed),
+                )
+                for key in busy
+            }
+            for key, (work, capacity) in served.items():
+                previous = self._served_at_start.get(key, (0.0, capacity))[0]
+                closed[f"rate:{key}"] = min(
+                    1.0, max(0.0, (work - previous) / (capacity * elapsed))
+                )
+            self._closed = closed
+            self._busy_at_start = busy
+            self._served_at_start = served
+            self._window_start = now
+        return dict(self._closed)
+
+    def dram_utilization(self) -> Optional[float]:
+        """Most-contended socket's DRAM *rate* utilization; None before
+        the first window closes."""
+        sample = self.sample()
+        if not sample:
+            return None
+        return max(
+            (
+                value for key, value in sample.items()
+                if key.startswith("rate:dram:")
+            ),
+            default=0.0,
+        )
+
+
 @dataclass
 class QuerySession:
     """One submitted query's life cycle on the shared server."""
@@ -290,6 +409,14 @@ class QuerySession:
     error: Optional[BaseException] = None
     #: pipelines freshly compiled (cache misses) for this session
     compiled_fresh: int = 0
+    #: shape executed for the *remaining* waves: elastic resizes update
+    #: this; ``config`` keeps the shape the query was admitted with
+    current_config: Optional[ExecutionConfig] = None
+    #: times the elastic controller resized this session's worker set
+    resizes: int = 0
+    #: (simulated time, cpu dop): the admitted shape first, then one
+    #: entry per elastic resize
+    dop_trajectory: list[tuple[float, int]] = field(default_factory=list)
     #: times this session was paused at a phase boundary
     preemptions: int = 0
     #: simulated seconds spent paused at preemption checkpoints
@@ -419,6 +546,25 @@ class BatchReport:
         return sum(s.preemptions for s in self.sessions)
 
     @property
+    def resizes(self) -> int:
+        """Elastic-dop resizes across all sessions in this drive."""
+        return sum(s.resizes for s in self.sessions)
+
+    def dop_trajectories(self) -> dict[str, list[int]]:
+        """Per-session CPU dop trajectory, keyed by session tag.
+
+        The first entry is the dop the query was admitted with; each
+        further entry is one elastic resize.  Sessions the controller
+        never tracked (elastic off, gpu-only, shed before admission)
+        are absent.
+        """
+        return {
+            s.tag: [dop for _, dop in s.dop_trajectory]
+            for s in self.sessions
+            if s.dop_trajectory
+        }
+
+    @property
     def latencies(self) -> dict[str, float]:
         """Latency per served session, keyed by the unique session tag
         (names are user-supplied and may repeat across resubmissions).
@@ -482,7 +628,7 @@ class BatchReport:
             f"{len(self.completed)} done, {len(self.failed)} failed, "
             f"{len(self.shed)} shed in {self.makespan:.4f}s simulated "
             f"({self.throughput_qps:.2f} queries/s, "
-            f"{self.preemptions} preemption(s))",
+            f"{self.preemptions} preemption(s), {self.resizes} resize(s))",
         ]
         if self.cache:
             lines.append(
@@ -492,17 +638,31 @@ class BatchReport:
             )
         tails = self.latency_percentiles()
         hit_rates = self.deadline_hit_rates()
-        for label, stats in tails.items():
-            parts = [f"class {label:12s}"] + [
-                f"{key}={value:.4f}s" for key, value in stats.items()
-            ]
+        for label, group in self.by_class().items():
+            parts = [f"class {label:12s}"]
+            stats = tails.get(label)
+            if stats is None:
+                # no session of this class completed (all shed/failed):
+                # a dash, never a NaN, in the benchmark artifact
+                parts.append("p50/p95/p99=-")
+            else:
+                parts += [f"{key}={value:.4f}s" for key, value in stats.items()]
             if label in hit_rates:
                 parts.append(f"deadline-hit={hit_rates[label]:.0%}")
             lines.append("  " + " ".join(parts))
         for session in self.sessions:
             mark = "ok" if session.status == "done" else session.status
-            lat = f"{session.latency:.4f}s" if session.latency is not None else "-"
+            lat = (
+                f"{session.latency:.4f}s"
+                # a shed session's zero "latency" is a refusal, not a
+                # measurement — render the dash
+                if session.latency is not None and session.status != "shed"
+                else "-"
+            )
             extra = f" preempted x{session.preemptions}" if session.preemptions else ""
+            if session.resizes:
+                path = "->".join(str(dop) for _, dop in session.dop_trajectory)
+                extra += f" dop {path}"
             lines.append(f"  {session.name:12s} {mark:7s} latency={lat}{extra}")
         return "\n".join(lines)
 
@@ -528,6 +688,14 @@ class EngineServer:
       admitted) sessions; submissions beyond it are shed, which is how
       an open-loop arrival stream is kept from growing the queue without
       bound at overload.  ``None`` means unbounded (closed-loop safe).
+    * ``elastic``: enable the elastic-dop controller — at every phase
+      boundary a running query's CPU worker set may be shrunk (socket
+      DRAM contended beyond ``target_utilization``) or grown (server
+      under-utilized) for its remaining waves, within
+      ``[min_dop, max_dop]`` and the budget's remaining cores.  The
+      ``min_dop``/``max_dop``/``target_utilization`` shorthands build an
+      :class:`~repro.engine.config.ElasticPolicy`; pass ``elastic_policy``
+      instead for the full knob set (mutually exclusive).
     """
 
     def __init__(
@@ -541,6 +709,11 @@ class EngineServer:
         preemption: bool = True,
         backfill_limit: Optional[int] = 64,
         max_queue_depth: Optional[int] = None,
+        elastic: bool = False,
+        elastic_policy: Optional[ElasticPolicy] = None,
+        min_dop: Optional[int] = None,
+        max_dop: Optional[int] = None,
+        target_utilization: Optional[float] = None,
         **engine_kwargs: Any,
     ):
         if max_concurrent < 1:
@@ -553,6 +726,35 @@ class EngineServer:
             raise ValueError("backfill_limit must be >= 0 (or None)")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if elastic_policy is not None and any(
+            knob is not None for knob in (min_dop, max_dop, target_utilization)
+        ):
+            raise ValueError(
+                "pass either elastic_policy= or the min_dop/max_dop/"
+                "target_utilization shorthands, not both"
+            )
+        if not elastic and (
+            elastic_policy is not None
+            or any(
+                knob is not None
+                for knob in (min_dop, max_dop, target_utilization)
+            )
+        ):
+            # knobs without the switch would be silently inert: the
+            # caller believes elasticity is active and gets fixed dop
+            raise ValueError(
+                "elastic_policy/min_dop/max_dop/target_utilization have no "
+                "effect without elastic=True"
+            )
+        if elastic_policy is None:
+            overrides: dict[str, Any] = {}
+            if min_dop is not None:
+                overrides["min_dop"] = min_dop
+            if max_dop is not None:
+                overrides["max_dop"] = max_dop
+            if target_utilization is not None:
+                overrides["target_utilization"] = target_utilization
+            elastic_policy = ElasticPolicy(**overrides)
         if engine is not None and engine_kwargs:
             raise ValueError(
                 f"engine kwargs {sorted(engine_kwargs)} have no effect when "
@@ -573,6 +775,11 @@ class EngineServer:
         self.preemption = preemption and admission == "sla"
         self.backfill_limit = backfill_limit
         self.max_queue_depth = max_queue_depth
+        self.elastic = elastic
+        self.elastic_policy = elastic_policy
+        self._monitor = _UtilizationMonitor(
+            self.sim, self.server, elastic_policy.window_seconds
+        )
         self.sessions: list[QuerySession] = []
         self._pending: list[QuerySession] = []
         self._paused: list[QuerySession] = []
@@ -656,6 +863,7 @@ class EngineServer:
             name=name or f"q{self._next_id}",
             plan=plan,
             config=config,
+            current_config=config,
             het=het,
             demand=demand,
             qos=qos,
@@ -896,6 +1104,10 @@ class EngineServer:
         self._pending.remove(session)
         session.status = "running"
         session.admit_time = self.sim.now
+        if self.elastic and session.config.cpu_workers:
+            session.dop_trajectory.append(
+                (self.sim.now, session.config.cpu_workers)
+            )
         driver = self._query_proc(session)
         self._drivers[session.query_id] = driver
         self.sim.process(driver, name=f"{session.tag}:driver")
@@ -1000,6 +1212,116 @@ class EngineServer:
 
         return checkpoint
 
+    # -- elastic degree of parallelism -------------------------------------
+
+    def _make_reconfigure(self, session: QuerySession):
+        """The executor-side elastic-dop hook for one session."""
+
+        def reconfigure() -> Optional[tuple[ExecutionConfig, list[int]]]:
+            return self._elastic_decision(session)
+
+        return reconfigure
+
+    def _grow_room(self) -> float:
+        """Whole cores a growing query may claim without starving the
+        admission queue: the budget's headroom minus the cores of the
+        highest-ranked waiter that could actually be admitted now."""
+        headroom = self.budget.headroom()["cpu_cores"]
+        if not math.isfinite(headroom):
+            # uncapped budget dimension: the physical core count minus
+            # what admitted queries already hold is the real headroom —
+            # falling back to the raw core count would let co-resident
+            # elastic queries collectively grow far past the machine
+            headroom = (
+                len(self.server.cores) - self.budget.in_use["cpu_cores"]
+            )
+        waiting = self._waiting()
+        if waiting and self._running < self.max_concurrent:
+            headroom -= self._admission_need(waiting[0]).cpu_cores
+        return max(0.0, headroom)
+
+    def _elastic_target(self, session: QuerySession) -> Optional[int]:
+        """Desired CPU dop for the session's remaining waves, or None.
+
+        Shrink when the most-contended socket's DRAM utilization over
+        the last closed window exceeds the policy target (halving, never
+        below ``min_dop``); grow when utilization is below
+        ``grow_below * target`` (doubling, clamped to ``max_dop``, the
+        server's core count, and the budget's remaining whole cores).
+        Growth is suppressed while a preemption campaign is in flight —
+        the compute the victims free is reserved for the blocked waiter.
+        """
+        policy = self.elastic_policy
+        config = session.current_config or session.config
+        if config.bare or config.cpu_workers == 0:
+            return None
+        dram = self._monitor.dram_utilization()
+        if dram is None:
+            return None
+        dop = config.cpu_workers
+        total_cores = len(self.server.cores)
+        lo = min(policy.min_dop, total_cores)
+        hi = min(policy.max_dop or total_cores, total_cores)
+        if dram > policy.target_utilization and dop > lo:
+            return max(lo, dop // 2)
+        if dram < policy.target_utilization * policy.grow_below and dop < hi:
+            if self.preemption and any(
+                s.preempt_requested for s in self._active_sessions.values()
+            ):
+                return None
+            target = min(hi, dop * 2, dop + int(self._grow_room()))
+            if dram > 0.0:
+                # Predictive cap: growing multiplies the query's
+                # streaming demand roughly by new/old dop — grow only to
+                # the point where the projected utilization reaches the
+                # target, so the headroom above it stays free for
+                # higher-priority bursts instead of being colonised and
+                # then slowly clawed back by shrinks.
+                target = min(
+                    target, int(dop * policy.target_utilization / dram)
+                )
+            return target if target > dop else None
+        return None
+
+    def _elastic_decision(
+        self, session: QuerySession
+    ) -> Optional[tuple[ExecutionConfig, list[int]]]:
+        """Decide and account one resize at a phase boundary.
+
+        Only the compute delta moves through the budget — the memory
+        dimensions stay charged exactly as admitted.  On shrink that is
+        conservative (operator state built so far remains resident); on
+        grow it is *deliberately optimistic*: the extra workers' staging
+        slots (``staging_bytes_per_worker`` in
+        :meth:`~repro.hardware.costmodel.CostModel.admission_demand`)
+        are not re-charged, because staging comes from the pre-allocated
+        block arenas rather than admission-governed allocations — a
+        DRAM-tight budget therefore bounds admission, not growth.
+        Returns the ``(config, affinity)`` pair the executor applies to
+        the remaining waves, or None to keep the current shape.
+        """
+        target = self._elastic_target(session)
+        config = session.current_config or session.config
+        if target is None or target == config.cpu_workers:
+            return None
+        delta = target - config.cpu_workers
+        if delta > 0:
+            self.budget.allocate(QueryDemand(cpu_cores=delta))
+        else:
+            self.budget.release(QueryDemand(cpu_cores=-delta))
+        new_config = config.derive(cpu_workers=target)
+        affinity = self.placer.cpu_affinity(new_config)
+        session.current_config = new_config
+        session.demand = replace(session.demand, cpu_cores=target)
+        if session.held_demand is not None:
+            session.held_demand = replace(session.held_demand, cpu_cores=target)
+        session.resizes += 1
+        session.dop_trajectory.append((self.sim.now, target))
+        if delta < 0:
+            # freed cores may unblock queued or paused sessions
+            self._wake_admission()
+        return new_config, affinity
+
     def _query_proc(self, session: QuerySession):
         """DES driver for one admitted query: compile, execute, collect."""
         try:
@@ -1020,6 +1342,9 @@ class EngineServer:
                 session.het, session.config,
                 query_id=session.tag, pipelines=pipelines,
                 checkpoint=self._make_checkpoint(session),
+                reconfigure=(
+                    self._make_reconfigure(session) if self.elastic else None
+                ),
             )
             session.result = self.engine._collect(session.het.collect, raw)
             session.status = "done"

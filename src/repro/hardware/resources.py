@@ -57,6 +57,28 @@ class FifoResource:
     def in_use(self) -> int:
         return self._in_use
 
+    @property
+    def busy_time(self) -> float:
+        """Total simulated time during which the resource was held.
+
+        Includes the currently open busy interval (``_busy_since`` to
+        now), mirroring :meth:`BandwidthResource.busy_time`'s
+        ``_advance()`` discipline — ``total_busy_time`` alone is only
+        folded when the last holder releases, so a mid-run sample of it
+        (e.g. a scheduler's utilization probe at a phase boundary)
+        silently under-counts by the whole in-flight interval.
+        """
+        total = self.total_busy_time
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        return total
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` during which the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
     def acquire(self) -> Event:
         event = Event(self.sim, name=f"acquire:{self.name}")
         if self._in_use < self.slots:

@@ -203,6 +203,95 @@ class TestValidation:
             validate_stage_graph(plan)
 
 
+class TestPlacementValidation:
+    """dop/affinity vs the server's units: a typed error, not IndexError.
+
+    The elastic controller clamps grow requests against exactly these
+    limits; before this validation an oversized dop surfaced as a bare
+    ``IndexError`` deep in ``Executor._instances_for``.
+    """
+
+    @staticmethod
+    def _single_stage_plan(stage):
+        from repro.algebra.physical import CollectSpec, HetPlan, Phase
+
+        return HetPlan(phases=[Phase("p", [stage], [])],
+                       collect=CollectSpec([], [], scalar=True))
+
+    def test_cpu_dop_beyond_core_count_rejected(self):
+        from repro.algebra.physical import validate_placement
+
+        stage = Stage("probe", DeviceType.CPU,
+                      ops=[OpUnpack(["k"]), OpReduceSink([])], dop=64)
+        with pytest.raises(PlanValidationError, match="24 CPU cores"):
+            validate_placement(self._single_stage_plan(stage), 24, 2)
+
+    def test_gpu_dop_beyond_gpu_count_rejected(self):
+        from repro.algebra.physical import validate_placement
+
+        stage = Stage("probe", DeviceType.GPU,
+                      ops=[OpUnpack(["k"]), OpReduceSink([])], dop=3)
+        with pytest.raises(PlanValidationError, match="2 GPUs"):
+            validate_placement(self._single_stage_plan(stage), 24, 2)
+
+    def test_out_of_range_affinity_rejected(self):
+        from repro.algebra.physical import validate_placement
+
+        stage = Stage("probe", DeviceType.CPU,
+                      ops=[OpUnpack(["k"]), OpReduceSink([])],
+                      dop=2, affinity=[0, 99])
+        with pytest.raises(PlanValidationError, match=r"\[99\]"):
+            validate_placement(self._single_stage_plan(stage), 24, 2)
+
+    def test_affinity_length_mismatch_rejected(self):
+        from repro.algebra.physical import validate_placement
+
+        stage = Stage("probe", DeviceType.CPU,
+                      ops=[OpUnpack(["k"]), OpReduceSink([])],
+                      dop=3, affinity=[0])
+        with pytest.raises(PlanValidationError, match="affinity"):
+            validate_placement(self._single_stage_plan(stage), 24, 2)
+
+    def test_executor_raises_typed_error_not_indexerror(self, setup):
+        """A hand-built plan with an oversized dop fails at the plan
+        level when handed to the executor, instead of crashing mid-
+        execution in the instance spawner."""
+        from repro.engine.executor import Executor
+        from repro.hardware.costmodel import CostModel
+        from repro.memory.managers import BlockManagerSet
+
+        from repro.algebra.physical import (
+            CollectSpec, ExchangeEdge, HetPlan, Phase, SegmentSource,
+        )
+
+        server, catalog, _ = setup
+        executor = Executor(server.sim, server, catalog,
+                            BlockManagerSet(server),
+                            CostModel(server.spec))
+        source = Stage("seg", DeviceType.CPU, ops=[OpPackSink(["v"])],
+                       source=SegmentSource("fact", ["v"]))
+        consumer = Stage("probe", DeviceType.CPU,
+                         ops=[OpUnpack(["v"]), OpReduceSink([])], dop=64)
+        plan = HetPlan(
+            phases=[Phase("p", [source, consumer],
+                          [ExchangeEdge(source, consumer)])],
+            collect=CollectSpec([], [], scalar=True),
+        )
+        with pytest.raises(PlanValidationError, match="CPU cores"):
+            executor.execute(plan, ExecutionConfig.cpu_only(4))
+
+    def test_sources_are_exempt(self):
+        """Segmenters are control-plane only; their dop never spawns
+        pinned instances and is not checked against the core count."""
+        from repro.algebra.physical import (
+            SegmentSource, validate_stage_placement,
+        )
+
+        source = Stage("seg", DeviceType.CPU, ops=[OpPackSink(["v"])],
+                       source=SegmentSource("fact", ["v"]), dop=1)
+        validate_stage_placement(source, 0, 0)  # must not raise
+
+
 class TestJoinOrderOptimization:
     def test_most_selective_probe_first(self, setup):
         _, catalog, placer = setup

@@ -59,6 +59,60 @@ class TestFifoResource:
         sim.process(worker())
         sim.run()
         assert resource.total_busy_time == pytest.approx(3)
+        assert resource.busy_time == pytest.approx(3)
+
+    def test_busy_time_includes_open_interval_mid_run(self):
+        """``total_busy_time`` folds only when the last holder releases;
+        a mid-run sample (a scheduler's utilization probe at a phase
+        boundary) must still see the in-flight interval."""
+        sim = Simulator()
+        resource = FifoResource(sim, "core")
+        samples = []
+
+        def worker():
+            yield resource.acquire()
+            yield sim.timeout(2)
+            # mid-hold: the raw counter is still zero, busy_time is not
+            samples.append((resource.total_busy_time, resource.busy_time))
+            yield sim.timeout(1)
+            resource.release()
+
+        sim.process(worker())
+        sim.run()
+        assert samples == [(0.0, pytest.approx(2.0))]
+        assert resource.busy_time == pytest.approx(3.0)
+
+    def test_busy_time_counts_overlapping_holds_once(self):
+        """Two holders on a multi-slot resource: busy time is wall-clock
+        'at least one slot held', not the sum of the holds."""
+        sim = Simulator()
+        resource = FifoResource(sim, "pool", slots=2)
+
+        def worker(start, hold):
+            yield sim.timeout(start)
+            yield resource.acquire()
+            yield sim.timeout(hold)
+            resource.release()
+
+        sim.process(worker(0, 3))
+        sim.process(worker(1, 4))  # overlaps 1..3, extends to 5
+        sim.run()
+        assert resource.busy_time == pytest.approx(5.0)
+
+    def test_utilization_over_horizon(self):
+        sim = Simulator()
+        resource = FifoResource(sim, "core")
+
+        def worker():
+            yield sim.timeout(1)
+            yield resource.acquire()
+            yield sim.timeout(3)
+            resource.release()
+
+        sim.process(worker())
+        sim.run()
+        assert resource.utilization(4.0) == pytest.approx(0.75)
+        assert resource.utilization(0.0) == 0.0
 
 
 class TestBandwidthResource:

@@ -562,6 +562,40 @@ class TestReporting:
         assert report.preemptions == 2
         assert "interactive" in report.summary()
 
+    def test_summary_renders_dash_for_class_with_no_completions(self):
+        """A class whose sessions were ALL shed (or failed) has no
+        latency sample: the summary renders a dash for it and
+        ``latency_percentiles`` excludes it — never a NaN in the
+        benchmark-smoke artifact."""
+        qos = QoS.interactive(deadline_seconds=0.1)
+        sessions = []
+        for i in range(3):
+            sessions.append(self._session(i, "shed", 0.0, qos, deadline=0.1))
+        sessions.append(self._session(9, "done", 0.5, QoS.batch()))
+        report = BatchReport(sessions=sessions, makespan=1.0, throughput_qps=1.0)
+        assert "interactive" not in report.latency_percentiles()
+        assert "batch" in report.latency_percentiles()
+        text = report.summary()
+        assert "nan" not in text.lower()
+        # the class still appears, with a dash instead of percentiles
+        assert "interactive" in text
+        assert "p50/p95/p99=-" in text
+        # shed sessions render a dash, not their zero "latency"
+        shed_lines = []
+        for line in text.splitlines():
+            if "shed" in line and "latency" in line:
+                shed_lines.append(line)
+        assert shed_lines and all("latency=-" in line for line in shed_lines)
+
+    def test_summary_handles_all_failed_class(self):
+        qos = QoS(priority=3, label="doomed")
+        sessions = [self._session(i, "failed", 0.2, qos) for i in range(2)]
+        report = BatchReport(sessions=sessions, makespan=1.0, throughput_qps=0.0)
+        assert report.latency_percentiles() == {}
+        text = report.summary()
+        assert "nan" not in text.lower()
+        assert "doomed" in text
+
     def test_deadline_hit_rate_counts_shed_and_failed_as_misses(self):
         qos = QoS(priority=5, deadline_seconds=1.0, label="slo")
         sessions = [
