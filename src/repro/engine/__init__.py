@@ -29,7 +29,7 @@ Correctness for every tier is anchored by
 NumPy interpreter used as the differential-testing oracle.
 """
 
-from .config import ElasticPolicy, ExecutionConfig, QoS
+from .config import CachePolicy, ElasticPolicy, ExecutionConfig, QoS
 from .executor import Executor, QueryError, RawExecution
 from .proteus import Proteus
 from .results import ExecutionProfile, QueryResult
@@ -43,6 +43,7 @@ from .scheduler import (
 )
 
 __all__ = [
+    "CachePolicy",
     "ElasticPolicy",
     "ExecutionConfig",
     "QoS",

@@ -23,6 +23,11 @@ ranks its admission queue by priority, then earliest deadline.
 with ``EngineServer(elastic=True)`` the scheduler may shrink or grow a
 query's CPU worker set between phases, within ``[min_dop, max_dop]``,
 driven by the observed DRAM utilization against ``target_utilization``.
+
+:class:`CachePolicy` parameterises the compiled-pipeline cache the same
+way: capacity, the eviction policy (``lru`` / ``lfu`` / the GDSF-style
+``cost_aware`` that keeps expensive-to-compile GPU pipelines resident
+longer), and how many hot entries per-batch cache reports list.
 """
 
 from __future__ import annotations
@@ -31,8 +36,9 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..hardware.topology import DeviceType
+from ..jit.cache import EVICTION_POLICIES
 
-__all__ = ["ExecutionConfig", "ElasticPolicy", "QoS"]
+__all__ = ["ExecutionConfig", "CachePolicy", "ElasticPolicy", "QoS"]
 
 
 @dataclass(frozen=True)
@@ -125,6 +131,50 @@ class ElasticPolicy:
             raise ValueError("window_seconds must be positive")
 
     def derive(self, **overrides) -> "ElasticPolicy":
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Knobs of the compiled-pipeline cache (one per engine).
+
+    ``eviction`` selects the policy the per-server (L1) cache evicts
+    with once ``capacity`` is exceeded:
+
+    * ``"lru"`` — plain recency, the original behaviour and the default;
+    * ``"lfu"`` — frequency with recency tie-breaks;
+    * ``"cost_aware"`` — GDSF-style: score =
+      aging floor + compile_cost x (hits + 1) / size, where the compile
+      cost is the per-device estimate the scheduler actually charges on
+      misses (:meth:`~repro.hardware.costmodel.CostModel.compile_demand`
+      — GPU pipelines ~5–10x CPU), so expensive GPU pipelines outlive
+      bursts of cheap CPU shapes.
+
+    Cross-server sharing is orthogonal: attach engines to one
+    :class:`~repro.jit.cache.SharedCacheDirectory` (L2) via
+    ``Proteus(shared_cache=...)``; the directory carries its own
+    capacity and eviction policy (cost-aware by default).
+
+    ``top_entries`` bounds the hottest-entries list in per-batch cache
+    snapshots (:meth:`~repro.jit.cache.CacheStats.snapshot`).
+    """
+
+    capacity: int = 128
+    eviction: str = "lru"
+    top_entries: int = 5
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; expected one "
+                f"of {sorted(EVICTION_POLICIES)}"
+            )
+        if self.top_entries < 0:
+            raise ValueError("top_entries must be >= 0")
+
+    def derive(self, **overrides) -> "CachePolicy":
         return replace(self, **overrides)
 
 

@@ -129,13 +129,36 @@ class PlanCompilation:
         """Stages whose compilation the caller must charge latency for."""
         return len(self.missing)
 
+    def compile_seconds(self, base_seconds: Optional[float] = None) -> float:
+        """Total simulated compile latency of the still-missing stages.
+
+        Per-device, per-complexity pricing via the compiler's ``cost_of``
+        (:meth:`~repro.hardware.costmodel.CostModel.compile_demand`);
+        ``base_seconds`` rescales the whole charge (a scheduler's
+        ``compile_seconds`` knob; 0 disables charging).  Falls back to a
+        flat per-stage charge when the compiler carries no cost model.
+        """
+        from ..hardware.costmodel import DEFAULT_COMPILE_SECONDS
+
+        base = DEFAULT_COMPILE_SECONDS if base_seconds is None else base_seconds
+        if self.compiler.cost_of is None:
+            return base * len(self.missing)
+        scale = base / DEFAULT_COMPILE_SECONDS
+        return scale * sum(self.compiler.cost_of(s) for s in self.missing)
+
     def finish(self) -> dict[int, "CompiledPipeline"]:
         for stage in self.missing:
             pipeline = self.compiler.compile_fresh(stage)
             if self.compiler.cache is not None:
                 key = stage_signature(stage, self.compiler.width)
                 if key is not None:
-                    self.compiler.cache.put(key, pipeline)
+                    # first-writer-wins: adopt the published entry so a
+                    # racing compile of the same shape never leaves two
+                    # distinct function objects in flight
+                    pipeline = self.compiler.cache.put(
+                        key, pipeline,
+                        cost=self.compiler.compile_cost(stage),
+                    )
             self.pipelines[stage.stage_id] = pipeline
         self.missing = []
         return self.pipelines
@@ -185,11 +208,17 @@ class Executor:
 
     # -- public ---------------------------------------------------------------
 
+    def _compiler(self) -> PipelineCompiler:
+        """A compiler wired to the shared cache and the cost model's
+        per-device compile pricing (cost-aware eviction scores)."""
+        return PipelineCompiler(
+            widths=self._column_widths(), cache=self.pipeline_cache,
+            cost_of=self.cost.compile_demand,
+        )
+
     def compile_plan(self, plan: HetPlan) -> dict[int, CompiledPipeline]:
         """Compile every non-source stage, consulting the shared cache."""
-        compiler = PipelineCompiler(
-            widths=self._column_widths(), cache=self.pipeline_cache
-        )
+        compiler = self._compiler()
         return {
             stage.stage_id: compiler.compile_stage(stage)
             for stage in plan.all_stages()
@@ -208,9 +237,7 @@ class Executor:
         compilation that has not completed in simulated time.  Hit/miss
         statistics are counted exactly once per stage.
         """
-        compiler = PipelineCompiler(
-            widths=self._column_widths(), cache=self.pipeline_cache
-        )
+        compiler = self._compiler()
         resident: dict[int, CompiledPipeline] = {}
         missing: list = []
         for stage in plan.all_stages():

@@ -30,16 +30,20 @@ from ..hardware.costmodel import CostModel, EngineTuning, PROTEUS_TUNING
 from ..hardware.sim import Simulator
 from ..hardware.specs import ServerSpec
 from ..hardware.topology import Server
-from ..jit.cache import PipelineCache
+from ..jit.cache import PipelineCache, SharedCacheDirectory
 from ..memory.managers import BlockManagerSet
 from ..storage.catalog import Catalog
 from ..storage.table import Placement, Table
-from .config import ExecutionConfig
+from .config import CachePolicy, ExecutionConfig
 from .collect import collect_result
 from .executor import Executor, RawExecution
 from .results import QueryResult
 
 __all__ = ["Proteus"]
+
+#: sentinel distinguishing "caller never passed pipeline_cache_capacity"
+#: from an explicit value (None is itself meaningful: cache disabled)
+_UNSET: object = object()
 
 
 class Proteus:
@@ -48,8 +52,16 @@ class Proteus:
     The engine keeps a :class:`~repro.jit.cache.PipelineCache` shared by
     every query it runs: structurally repeated stages (the common case
     for a dashboard re-issuing SSB queries) reuse the compiled pipeline
-    instead of recompiling.  Pass ``pipeline_cache_capacity=None`` to
-    disable caching entirely.
+    instead of recompiling.  ``cache_policy``
+    (:class:`~repro.engine.config.CachePolicy`) selects capacity and the
+    eviction policy (``lru`` / ``lfu`` / ``cost_aware``);
+    ``pipeline_cache_capacity`` remains as the capacity-only shorthand
+    (pass ``None`` to disable caching entirely).  ``shared_cache``
+    attaches this engine's cache to a cross-server
+    :class:`~repro.jit.cache.SharedCacheDirectory`: L1 misses fall back
+    to the directory (promoting hits), fresh compilations publish into
+    it, and evicted entries stay fetchable there — so a fleet of engines
+    compiles each pipeline shape roughly once.
     """
 
     def __init__(
@@ -58,7 +70,9 @@ class Proteus:
         tuning: EngineTuning = PROTEUS_TUNING,
         segment_rows: int = 1 << 20,
         logical_scale: float = 1.0,
-        pipeline_cache_capacity: Optional[int] = 128,
+        pipeline_cache_capacity: Optional[int] = _UNSET,  # default: 128
+        cache_policy: Optional[CachePolicy] = None,
+        shared_cache: Optional[SharedCacheDirectory] = None,
     ):
         self.sim = Simulator()
         self.server = Server(self.sim, spec or ServerSpec())
@@ -67,11 +81,34 @@ class Proteus:
         self.cost = CostModel(self.server.spec, tuning)
         self.logical_scale = logical_scale
         self.placer = HeterogeneousPlacer(self.server, self.catalog)
-        # `is not None`, not truthiness: capacity 0 must raise (inside
-        # PipelineCache), not silently disable caching.
+        if cache_policy is not None and pipeline_cache_capacity is not _UNSET:
+            # sentinel, not a default-value comparison: an explicitly
+            # passed =128 (or =None) alongside cache_policy is the same
+            # ambiguity as any other pair of conflicting knobs
+            raise ValueError(
+                "pass either cache_policy= or the pipeline_cache_capacity "
+                "shorthand, not both"
+            )
+        if pipeline_cache_capacity is _UNSET:
+            pipeline_cache_capacity = 128
+        if cache_policy is None and pipeline_cache_capacity is not None:
+            # `is not None`, not truthiness: capacity 0 must raise (inside
+            # CachePolicy), not silently disable caching.
+            cache_policy = CachePolicy(capacity=pipeline_cache_capacity)
+        if cache_policy is None and shared_cache is not None:
+            raise ValueError(
+                "shared_cache requires an enabled pipeline cache "
+                "(cache_policy or pipeline_cache_capacity)"
+            )
+        self.cache_policy = cache_policy
         self.pipeline_cache = (
-            PipelineCache(pipeline_cache_capacity)
-            if pipeline_cache_capacity is not None
+            PipelineCache(
+                cache_policy.capacity,
+                policy=cache_policy.eviction,
+                shared=shared_cache,
+                top_entries=cache_policy.top_entries,
+            )
+            if cache_policy is not None
             else None
         )
         self.executor = Executor(

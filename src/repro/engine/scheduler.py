@@ -67,9 +67,16 @@ re-entrant executor:
   remain for think-time workloads;
 * repeated query shapes hit the executor's shared
   :class:`~repro.jit.cache.PipelineCache`; a cache miss pays a simulated
-  compilation latency (:data:`DEFAULT_COMPILE_SECONDS` per pipeline), a
-  hit pays nothing — so a warmed server visibly serves repeated SSB
-  queries faster.
+  per-device compilation latency
+  (:meth:`~repro.hardware.costmodel.CostModel.compile_demand`: GPU
+  pipelines ~5–10x the CPU base :data:`DEFAULT_COMPILE_SECONDS`, longer
+  operator chains proportionally more), a hit — local or served out of
+  an attached cross-server
+  :class:`~repro.jit.cache.SharedCacheDirectory` — pays nothing, so a
+  warmed server (or a fleet-mate of one) visibly serves repeated SSB
+  queries faster.  The same per-device estimate prices entries for the
+  cache's ``cost_aware`` eviction policy, so what eviction protects is
+  exactly what a miss would charge.
 
 :meth:`EngineServer.run` drives the whole batch to completion and returns
 a :class:`BatchReport` with per-query latencies, aggregate throughput,
@@ -86,7 +93,7 @@ from typing import Any, Optional, Sequence
 
 from ..algebra.logical import Plan
 from ..algebra.physical import HetPlan, OpBuildSink
-from ..hardware.costmodel import QueryDemand
+from ..hardware.costmodel import DEFAULT_COMPILE_SECONDS, QueryDemand
 from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
@@ -105,10 +112,9 @@ __all__ = [
     "DEFAULT_COMPILE_SECONDS",
 ]
 
-#: simulated JIT compilation latency per freshly compiled pipeline (cache
-#: misses only).  The paper reports generation + compilation in the tens
-#: of milliseconds per pipeline; cache hits skip this entirely.
-DEFAULT_COMPILE_SECONDS = 25e-3
+# DEFAULT_COMPILE_SECONDS now lives in repro.hardware.costmodel (the
+# per-device compile-cost model scales it); re-exported here because the
+# scheduler's compile_seconds knob is where callers historically found it.
 
 #: budget dimensions — derived from QueryDemand so the two modules cannot
 #: silently diverge when a dimension is added or removed (QueryDemand's
@@ -409,6 +415,9 @@ class QuerySession:
     error: Optional[BaseException] = None
     #: pipelines freshly compiled (cache misses) for this session
     compiled_fresh: int = 0
+    #: simulated compile latency actually charged for those misses
+    #: (per-device: GPU pipelines cost ~5-10x the CPU base)
+    compile_seconds_charged: float = 0.0
     #: shape executed for the *remaining* waves: elastic resizes update
     #: this; ``config`` keeps the shape the query was admitted with
     current_config: Optional[ExecutionConfig] = None
@@ -526,7 +535,9 @@ class BatchReport:
     makespan: float
     #: completed queries per simulated second over the makespan
     throughput_qps: float
-    cache: dict[str, float] = field(default_factory=dict)
+    #: per-tier pipeline-cache snapshot: the L1 counters flat, plus a
+    #: nested ``"shared"`` dict when a SharedCacheDirectory is attached
+    cache: dict = field(default_factory=dict)
     budget_peak: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -549,6 +560,12 @@ class BatchReport:
     def resizes(self) -> int:
         """Elastic-dop resizes across all sessions in this drive."""
         return sum(s.resizes for s in self.sessions)
+
+    @property
+    def recompile_seconds(self) -> float:
+        """Total simulated compile latency this drive's sessions paid on
+        cache misses — the figure cost-aware eviction minimises."""
+        return sum(s.compile_seconds_charged for s in self.sessions)
 
     def dop_trajectories(self) -> dict[str, list[int]]:
         """Per-session CPU dop trajectory, keyed by session tag.
@@ -631,11 +648,31 @@ class BatchReport:
             f"{self.preemptions} preemption(s), {self.resizes} resize(s))",
         ]
         if self.cache:
-            lines.append(
+            line = (
                 f"pipeline cache: {self.cache.get('hits', 0)} hits / "
                 f"{self.cache.get('misses', 0)} misses "
-                f"(hit rate {self.cache.get('hit_rate', 0.0):.1%})"
+                f"(hit rate {self.cache.get('hit_rate', 0.0):.1%}, "
+                f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} "
+                f"resident)"
             )
+            if self.cache.get("shared_hits"):
+                line += f", {self.cache['shared_hits']} shared hit(s)"
+            lines.append(line)
+            if self.recompile_seconds:
+                lines.append(
+                    f"recompile cost: {self.recompile_seconds:.4f}s simulated "
+                    f"over {sum(s.compiled_fresh for s in self.sessions)} "
+                    f"fresh pipeline(s)"
+                )
+            shared = self.cache.get("shared")
+            if shared:
+                lines.append(
+                    f"shared directory: {shared.get('hits', 0)} hits "
+                    f"({shared.get('cross_server_hits', 0)} cross-server) / "
+                    f"{shared.get('misses', 0)} misses, "
+                    f"{shared.get('size', 0)}/{shared.get('capacity', 0)} "
+                    f"resident"
+                )
         tails = self.latency_percentiles()
         hit_rates = self.deadline_hit_rates()
         for label, group in self.by_class().items():
@@ -696,6 +733,12 @@ class EngineServer:
       ``min_dop``/``max_dop``/``target_utilization`` shorthands build an
       :class:`~repro.engine.config.ElasticPolicy`; pass ``elastic_policy``
       instead for the full knob set (mutually exclusive).
+
+    Cache knobs travel with the engine: construct the server with
+    ``cache_policy=CachePolicy(capacity, eviction="cost_aware", ...)``
+    and/or ``shared_cache=SharedCacheDirectory(...)`` (forwarded to
+    :class:`~repro.engine.proteus.Proteus` like any engine kwarg) to
+    select eviction and attach the server to a cross-server cache tier.
     """
 
     def __init__(
@@ -1334,9 +1377,12 @@ class EngineServer:
             compilation = self.executor.begin_compilation(session.het)
             session.compiled_fresh = compilation.fresh_count
             if session.compiled_fresh and self.compile_seconds:
-                yield self.sim.timeout(
-                    session.compiled_fresh * self.compile_seconds
+                # per-device, per-complexity pricing: a GPU build-sink
+                # pipeline pays ~5-10x what a trivial CPU filter does
+                session.compile_seconds_charged = compilation.compile_seconds(
+                    self.compile_seconds
                 )
+                yield self.sim.timeout(session.compile_seconds_charged)
             pipelines = compilation.finish()
             raw = yield from self.executor.execute_process(
                 session.het, session.config,
@@ -1435,7 +1481,9 @@ class EngineServer:
             sessions=finished,
             makespan=makespan,
             throughput_qps=throughput,
-            cache=cache.stats.snapshot() if cache else {},
+            # `is not None`, not truthiness: an enabled-but-empty cache
+            # (e.g. every session failed before put) still has counters
+            cache=cache.snapshot() if cache is not None else {},
             budget_peak=dict(self.budget.peak),
         )
 

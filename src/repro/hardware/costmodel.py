@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from .specs import ServerSpec
+from .topology import DeviceType
 
 __all__ = [
     "BlockStats",
@@ -45,9 +46,17 @@ __all__ = [
     "QueryDemand",
     "EngineTuning",
     "CostModel",
+    "DEFAULT_COMPILE_SECONDS",
 ]
 
 _TINY = 1e-15
+
+#: simulated JIT compilation latency for a baseline (CPU, small) pipeline
+#: — the paper reports generation + compilation in the tens of
+#: milliseconds per pipeline.  Per-stage charges scale this by device and
+#: operator count (:meth:`CostModel.compile_demand`); cache hits skip it
+#: entirely.
+DEFAULT_COMPILE_SECONDS = 25e-3
 
 
 @dataclass
@@ -172,6 +181,15 @@ class EngineTuning:
     #: Extra fixed time per kernel launch relative to the spec (DBMS G
     #: launches one kernel per operator instead of per pipeline).
     kernel_launch_multiplier: float = 1.0
+    #: JIT compile-cost multiplier for GPU pipelines relative to CPU
+    #: ones: device codegen + NVRTC/PTX compilation + module load is
+    #: roughly an order of magnitude slower than host LLVM JIT for the
+    #: same pipeline (the paper's per-device compilation breakdown).
+    gpu_compile_multiplier: float = 8.0
+    #: Marginal compile cost per fused operator beyond a minimal
+    #: (unpack + sink) pipeline — longer operator chains generate and
+    #: optimise more code.
+    compile_complexity_per_op: float = 0.15
 
     def derive(self, **overrides) -> "EngineTuning":
         return replace(self, **overrides)
@@ -312,6 +330,40 @@ class CostModel:
             priority=priority,
             deadline_seconds=deadline_seconds,
         )
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile_demand(
+        self, stage, base_seconds: Optional[float] = None
+    ) -> float:
+        """Simulated JIT compile latency for one stage's pipeline.
+
+        Replaces the flat per-pipeline constant the scheduler used to
+        charge on every cache miss: a GPU pipeline is charged
+        ``gpu_compile_multiplier`` (~5–10x) times the CPU base — device
+        codegen, NVRTC-style compilation and module load dominate — and
+        either device pays ``compile_complexity_per_op`` more per fused
+        operator beyond the minimal unpack+sink pair, so a five-way
+        probe chain costs visibly more than a trivial filter.  The same
+        estimate prices cache entries for cost-aware eviction
+        (:class:`~repro.jit.cache.CostAwarePolicy`), so miss penalties
+        match what eviction scores assume.
+
+        ``base_seconds`` rescales the whole model (the scheduler's
+        ``compile_seconds`` knob; 0 disables compile charging); it
+        defaults to :data:`DEFAULT_COMPILE_SECONDS`.
+        """
+        if base_seconds is None:
+            base_seconds = DEFAULT_COMPILE_SECONDS
+        t = self.tuning
+        multiplier = (
+            t.gpu_compile_multiplier
+            if stage.device is DeviceType.GPU
+            else 1.0
+        )
+        ops = len(stage.ops)
+        complexity = 1.0 + t.compile_complexity_per_op * max(0, ops - 2)
+        return base_seconds * multiplier * complexity
 
     # -- fixed overheads ----------------------------------------------------
 

@@ -1,7 +1,18 @@
 """JIT infrastructure: providers, codegen, pipelines, the pipeline cache,
 and hash-table kernels."""
 
-from .cache import CacheStats, PipelineCache, stage_signature
+from .cache import (
+    EVICTION_POLICIES,
+    CacheStats,
+    CostAwarePolicy,
+    EvictionPolicy,
+    LfuPolicy,
+    LruPolicy,
+    PipelineCache,
+    SharedCacheDirectory,
+    make_eviction_policy,
+    stage_signature,
+)
 from .codegen import CodegenError, PipelineCompiler
 from .hashtable import DuplicateKeyError, HashTable, hash_int64
 from .pipeline import CompiledPipeline, PipelineState, QueryState, agg_identity, merge_agg
@@ -11,7 +22,14 @@ __all__ = [
     "PipelineCompiler",
     "CodegenError",
     "PipelineCache",
+    "SharedCacheDirectory",
     "CacheStats",
+    "EvictionPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "CostAwarePolicy",
+    "EVICTION_POLICIES",
+    "make_eviction_policy",
     "stage_signature",
     "HashTable",
     "DuplicateKeyError",

@@ -139,15 +139,27 @@ class PipelineCompiler:
     structurally equal stages skip codegen + compile + load entirely and
     return the resident :class:`CompiledPipeline` (safe to share — compiled
     functions are stateless; per-query state is created via ``new_state``).
+
+    ``cost_of`` (optional) prices a freshly compiled stage for the cache's
+    cost-aware eviction policy — typically
+    :meth:`~repro.hardware.costmodel.CostModel.compile_demand`, so GPU
+    pipelines are protected in proportion to the recompile latency a
+    scheduler would actually charge for them.
     """
 
     def __init__(self, widths: dict[str, int] | None = None,
-                 cache: PipelineCache | None = None):
+                 cache: PipelineCache | None = None,
+                 cost_of=None):
         self.widths = dict(widths or {})
         self.cache = cache
+        self.cost_of = cost_of
 
     def width(self, name: str) -> int:
         return self.widths.get(name, 8)
+
+    def compile_cost(self, stage: Stage) -> float | None:
+        """Eviction-policy price of recompiling ``stage`` (None = flat)."""
+        return self.cost_of(stage) if self.cost_of is not None else None
 
     # -- public ------------------------------------------------------------
 
@@ -166,7 +178,11 @@ class PipelineCompiler:
                     return cached
         pipeline = self.compile_fresh(stage)
         if self.cache is not None and key is not None:
-            self.cache.put(key, pipeline)
+            # first-writer-wins: adopt whatever the cache published (a
+            # racing compile of the same shape may have beaten this one)
+            pipeline = self.cache.put(
+                key, pipeline, cost=self.compile_cost(stage)
+            )
         return pipeline
 
     def compile_fresh(self, stage: Stage) -> CompiledPipeline:

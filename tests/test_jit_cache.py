@@ -1,20 +1,35 @@
 """Compiled-pipeline cache: hit/miss/eviction semantics and result parity.
 
 Covers the structural signature (what must and must not distinguish two
-stages), LRU eviction accounting, and — most importantly — that a cached
-pipeline produces output identical to a freshly compiled one, both at the
-pipeline level (same generated function, same state effects) and at the
-whole-query level (cached engine == cache-disabled engine == reference).
+stages), eviction accounting under every policy (``lru`` / ``lfu`` /
+``cost_aware``), the policy differential on a repeated SSB trace (the
+cost-aware policy retains GPU pipelines LRU evicts, for strictly lower
+total recompile cost), two-tier sharing through a
+:class:`SharedCacheDirectory` (promotion on hit, demotion on eviction,
+cross-server hits), first-writer-wins insertion, and — most importantly —
+that a cached pipeline produces output identical to a freshly compiled
+one, both at the pipeline level (same generated function, same state
+effects) and at the whole-query level (cached engine == cache-disabled
+engine == shared-directory engine == reference).
 """
 
 import numpy as np
 import pytest
 
-from repro import ExecutionConfig, Proteus, agg_sum, col, scan
+from repro import (
+    CachePolicy,
+    ExecutionConfig,
+    Proteus,
+    SharedCacheDirectory,
+    agg_sum,
+    col,
+    scan,
+)
 from repro.engine.reference import ReferenceExecutor
-from repro.jit.cache import PipelineCache, stage_signature
+from repro.jit.cache import PipelineCache, make_eviction_policy, stage_signature
 from repro.jit.codegen import PipelineCompiler
 from repro.jit.pipeline import QueryState
+from repro.ssb import SSB_QUERY_IDS, generate_ssb, load_ssb, ssb_query
 from repro.storage import Column, DataType, Table
 
 
@@ -118,13 +133,21 @@ class TestEviction:
         assert cache.get("k2") is None  # miss after eviction
         assert cache.stats.misses == 1
 
-    def test_reinsert_same_key_does_not_evict(self):
+    def test_reinsert_same_key_is_first_writer_wins(self):
+        """put() on a resident key keeps the PUBLISHED entry: concurrent
+        sessions holding the first pipeline must never observe a second,
+        distinct function object for the same shape mid-batch."""
         cache = PipelineCache(capacity=2)
-        cache.put("k1", self._Dummy(1))
-        cache.put("k1", self._Dummy(10))
+        first, second = self._Dummy(1), self._Dummy(10)
+        assert cache.put("k1", first) is first
+        # the losing racer is told to adopt the published entry ...
+        assert cache.put("k1", second) is first
         cache.put("k2", self._Dummy(2))
         assert cache.stats.evictions == 0
-        assert cache.get("k1").tag == 10
+        # ... and the resident entry is untouched, with the redundant
+        # compile counted instead of silently replacing the object
+        assert cache.get("k1") is first
+        assert cache.stats.redundant_compiles == 1
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
@@ -216,3 +239,341 @@ class TestCachedOutputParity:
             result = engine.query(_plan(), config)
             assert sorted(result.rows) == sorted(reference)
         assert cached_engine.pipeline_cache.stats.hits > 0
+
+
+class _Fake:
+    """Stand-in pipeline with a sized 'generated source'."""
+
+    def __init__(self, tag, source_len=100):
+        self.tag = tag
+        self.source = "x" * source_len
+
+
+class TestSnapshotAccounting:
+    def test_snapshot_reports_lookups_residency_and_top_entries(self):
+        cache = PipelineCache(capacity=4)
+        cache.put("hot", _Fake(1))
+        cache.put("warm", _Fake(2))
+        for _ in range(3):
+            cache.get("hot")
+        cache.get("warm")
+        cache.get("absent")  # miss
+        snap = cache.snapshot()
+        assert snap["hits"] == 4 and snap["misses"] == 1
+        assert snap["lookups"] == 5  # the previously-omitted counter
+        assert snap["size"] == 2 and snap["capacity"] == 4
+        # hottest first, each resident entry's own hit count
+        assert snap["top_entries"][0] == {"entry": "hot", "hits": 3}
+        assert snap["top_entries"][1] == {"entry": "warm", "hits": 1}
+
+    def test_snapshot_top_n_is_bounded(self):
+        cache = PipelineCache(capacity=16, top_entries=2)
+        for i in range(8):
+            cache.put(f"k{i}", _Fake(i))
+            cache.get(f"k{i}")
+        assert len(cache.snapshot()["top_entries"]) == 2
+        assert len(cache.snapshot(top_entries=5)["top_entries"]) == 5
+
+    def test_eviction_drops_entry_hits(self):
+        cache = PipelineCache(capacity=1)
+        cache.put("k1", _Fake(1))
+        cache.get("k1")
+        cache.put("k2", _Fake(2))  # evicts k1
+        labels = {e["entry"] for e in cache.snapshot()["top_entries"]}
+        assert labels == {"k2"}
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineCache(capacity=2, policy="fifo")
+        with pytest.raises(ValueError):
+            make_eviction_policy("belady")
+        with pytest.raises(ValueError):
+            CachePolicy(eviction="fifo")
+        with pytest.raises(ValueError):
+            CachePolicy(capacity=0)
+
+
+class TestEvictionPolicySemantics:
+    """Synthetic single-tier traces: what each policy protects."""
+
+    def test_lfu_protects_frequency_over_recency(self):
+        cache = PipelineCache(capacity=2, policy="lfu")
+        cache.put("popular", _Fake(1))
+        for _ in range(5):
+            cache.get("popular")
+        cache.put("recent", _Fake(2))
+        cache.put("newest", _Fake(3))  # lfu evicts 'recent' (0 hits)
+        assert "popular" in cache and "newest" in cache
+        assert "recent" not in cache
+
+    def test_cost_aware_protects_expensive_pipelines(self):
+        """A GPU pipeline (8x compile cost) outlives a flood of cheap
+        CPU shapes that plain LRU would let push it out."""
+        trace = [("gpu", 0.2)] + [(f"cpu{i}", 0.025) for i in range(6)]
+        survivors = {}
+        for policy in ("lru", "cost_aware"):
+            cache = PipelineCache(capacity=3, policy=policy)
+            cache.put("gpu", _Fake(0), cost=0.2)
+            cache.get("gpu")  # touched once, then the flood arrives
+            for key, cost in trace[1:]:
+                cache.put(key, _Fake(key), cost=cost)
+            survivors[policy] = "gpu" in cache
+        assert survivors == {"lru": False, "cost_aware": True}
+
+    def test_cost_aware_aging_floor_retires_stale_entries(self):
+        """GreedyDual aging: an expensive entry nobody touches is
+        eventually overtaken by fresh traffic instead of squatting."""
+        cache = PipelineCache(capacity=2, policy="cost_aware")
+        cache.put("stale-gpu", _Fake(0), cost=0.2)
+        # each eviction raises the floor; eventually fresh cheap entries
+        # score above the never-touched expensive one
+        for i in range(40):
+            cache.put(f"cpu{i}", _Fake(i), cost=0.025)
+            cache.get(f"cpu{i}")
+        assert "stale-gpu" not in cache
+
+    def test_cost_aware_score_divides_by_size(self):
+        """Equal cost and hits: the smaller entry is worth keeping."""
+        cache = PipelineCache(capacity=2, policy="cost_aware")
+        cache.put("big", _Fake(1, source_len=4000), cost=0.1)
+        cache.put("small", _Fake(2, source_len=100), cost=0.1)
+        cache.put("next", _Fake(3, source_len=100), cost=0.1)
+        assert "big" not in cache
+        assert "small" in cache and "next" in cache
+
+
+@pytest.fixture(scope="module")
+def ssb_tables():
+    return generate_ssb(scale_factor=0.005, seed=13)
+
+
+#: the repeated-trace working set: a hot GPU mix recompiled every round
+#: plus a churn of every SSB flight's CPU shapes (~48 distinct stage
+#: signatures against a capacity-18 cache)
+_TRACE_CAPACITY = 18
+_TRACE_HOT_GPU = ["Q4.1", "Q4.2"]
+
+
+class TestEvictionPolicyMatrix:
+    """Same SSB trace, every policy: the cost-aware differential.
+
+    The trace replays rounds of [hot GPU mix + CPU churn] against a
+    capacity-constrained cache.  Each round's churn cycles more
+    signatures than fit, so plain LRU ends every round having evicted
+    the GPU pipelines; the cost-aware policy keeps them (compile cost
+    ~8x) and spends its misses on the cheap CPU shapes instead.
+    """
+
+    def _engine(self, tables, eviction):
+        engine = Proteus(
+            segment_rows=2048,
+            cache_policy=CachePolicy(capacity=_TRACE_CAPACITY, eviction=eviction),
+        )
+        load_ssb(engine, tables=tables)
+        return engine
+
+    def _replay(self, engine, rounds=3):
+        """Drive compilations only (the trace is about the cache, not
+        the simulator); returns the total simulated recompile cost."""
+        gpu_cfg = ExecutionConfig.gpu_only([0, 1], block_tuples=4096)
+        cpu_cfg = ExecutionConfig.cpu_only(4, block_tuples=4096)
+        total = 0.0
+        for _ in range(rounds):
+            workload = [(qid, gpu_cfg) for qid in _TRACE_HOT_GPU]
+            workload += [(qid, cpu_cfg) for qid in SSB_QUERY_IDS]
+            for qid, cfg in workload:
+                het = engine.placer.place(ssb_query(qid), cfg)
+                compilation = engine.executor.begin_compilation(het)
+                total += compilation.compile_seconds()
+                compilation.finish()
+        return total
+
+    def _gpu_resident(self, engine):
+        return sum(1 for key in engine.pipeline_cache.keys() if key[0] == "gpu")
+
+    def test_cost_aware_retains_gpu_pipelines_lru_evicts(self, ssb_tables):
+        results = {}
+        for eviction in ("lru", "lfu", "cost_aware"):
+            engine = self._engine(ssb_tables, eviction)
+            cost = self._replay(engine)
+            results[eviction] = (cost, engine.pipeline_cache.stats.hit_rate,
+                                 self._gpu_resident(engine))
+        lru_cost, lru_rate, lru_gpu = results["lru"]
+        lfu_cost, _, _ = results["lfu"]
+        ca_cost, ca_rate, ca_gpu = results["cost_aware"]
+        # the headline: strictly lower total simulated recompile cost
+        assert ca_cost < lru_cost
+        assert ca_cost < lfu_cost
+        # because the expensive GPU pipelines stayed resident ...
+        assert ca_gpu > 0
+        assert lru_gpu == 0
+        # ... which also lifts the hit rate on this trace
+        assert ca_rate > lru_rate
+
+    def test_policy_choice_never_changes_results(self, ssb_tables):
+        reference = ReferenceExecutor(ssb_tables)
+        expected = sorted(reference.execute(ssb_query("Q2.1")))
+        cfg = ExecutionConfig.hybrid(3, [0, 1], block_tuples=4096)
+        for eviction in ("lru", "lfu", "cost_aware"):
+            engine = self._engine(ssb_tables, eviction)
+            self._replay(engine, rounds=1)  # pre-churned, part-evicted cache
+            result = engine.query(ssb_query("Q2.1"), cfg)
+            assert sorted(result.rows) == expected, eviction
+
+
+class TestSharedDirectory:
+    """Two-tier sharing: L1 promotion, demotion, cross-server hits."""
+
+    def test_l2_hit_promotes_into_l1(self):
+        directory = SharedCacheDirectory(capacity=8)
+        a = PipelineCache(capacity=4, shared=directory)
+        b = PipelineCache(capacity=4, shared=directory)
+        pipeline = _Fake(1)
+        a.put("k", pipeline, cost=0.1)
+        assert "k" in directory and "k" not in b
+        got = b.get("k")
+        assert got is pipeline  # the exact published object
+        assert "k" in b  # promoted: next lookup is a pure L1 hit
+        assert b.stats.shared_hits == 1 and b.stats.misses == 0
+        assert b.get("k") is pipeline
+        assert b.stats.hits == 1
+
+    def test_cross_server_hits_distinguish_publisher(self):
+        directory = SharedCacheDirectory(capacity=8)
+        a = PipelineCache(capacity=1, shared=directory)
+        b = PipelineCache(capacity=4, shared=directory)
+        a.put("k", _Fake(1), cost=0.1)
+        a.put("k2", _Fake(2), cost=0.1)  # evicts k from a's L1
+        assert a.get("k") is not None  # served out of the directory ...
+        assert a.stats.shared_hits == 1
+        # ... but a fetch by the publisher itself is not cross-server
+        assert directory.stats.cross_server_hits == 0
+        b.get("k")
+        assert directory.stats.cross_server_hits == 1
+
+    def test_l1_eviction_demotes_to_directory(self):
+        directory = SharedCacheDirectory(capacity=8)
+        cache = PipelineCache(capacity=1, shared=directory)
+        cache.put("k1", _Fake(1), cost=0.1)
+        cache.put("k2", _Fake(2), cost=0.1)
+        assert "k1" not in cache and "k1" in directory
+        assert cache.get("k1") is not None  # refetchable after demotion
+        # demotion is bookkeeping, not a redundant compile
+        assert directory.stats.redundant_compiles == 0
+
+    def test_directory_publish_is_first_writer_wins(self):
+        directory = SharedCacheDirectory(capacity=8)
+        a = PipelineCache(capacity=4, shared=directory)
+        b = PipelineCache(capacity=4, shared=directory)
+        first = _Fake(1)
+        assert a.put("k", first, cost=0.1) is first
+        # b compiled the same shape concurrently: its put must adopt the
+        # directory's canonical object, and b's L1 must store that one
+        assert b.put("k", _Fake(2), cost=0.1) is first
+        assert b.get("k") is first
+        assert directory.stats.redundant_compiles == 1
+
+    def test_directory_applies_its_own_eviction(self):
+        directory = SharedCacheDirectory(capacity=2, policy="cost_aware")
+        cache = PipelineCache(capacity=8, shared=directory)
+        cache.put("gpu", _Fake(1), cost=0.2)
+        cache.put("cpu1", _Fake(2), cost=0.025)
+        cache.put("cpu2", _Fake(3), cost=0.025)  # directory overflows
+        assert len(directory) == 2
+        assert "gpu" in directory  # the expensive entry survived
+        assert directory.stats.evictions == 1
+
+    def test_two_engines_share_compilations(self, ssb_tables):
+        """Engine-level promotion: B never compiles what A already
+        published, and the answers stay identical to the reference."""
+        directory = SharedCacheDirectory(capacity=256)
+        cfg = ExecutionConfig.hybrid(3, [0, 1], block_tuples=4096)
+        engines = []
+        for _ in range(2):
+            engine = Proteus(segment_rows=2048, shared_cache=directory)
+            load_ssb(engine, tables=ssb_tables)
+            engines.append(engine)
+        a, b = engines
+        reference = ReferenceExecutor(ssb_tables)
+        expected = sorted(reference.execute(ssb_query("Q3.1")))
+        result_a = a.query(ssb_query("Q3.1"), cfg)
+        assert a.pipeline_cache.stats.misses > 0  # cold fleet: A compiles
+        result_b = b.query(ssb_query("Q3.1"), cfg)
+        # B compiled nothing: every stage was served by the directory
+        assert b.pipeline_cache.stats.misses == 0
+        assert b.pipeline_cache.stats.shared_hits > 0
+        assert directory.stats.cross_server_hits > 0
+        assert sorted(result_a.rows) == expected
+        assert sorted(result_b.rows) == expected
+
+    def test_shared_cache_without_l1_is_rejected(self):
+        with pytest.raises(ValueError):
+            Proteus(segment_rows=1024, pipeline_cache_capacity=None,
+                    shared_cache=SharedCacheDirectory())
+
+
+class TestFirstWriterWinsCompilation:
+    """The racing-compile regression at the two-phase compilation level."""
+
+    def test_racing_begin_compilation_converges_on_one_object(self):
+        """Two identical plans admitted together on a cold server both
+        compile fresh (each is charged), but finish() converges both on
+        the FIRST published pipeline — concurrent sessions never hold
+        distinct function objects for one shape."""
+        engine = _engine()
+        config = ExecutionConfig.cpu_only(2, block_tuples=512)
+        first = engine.executor.begin_compilation(
+            engine.placer.place(_plan(), config))
+        second = engine.executor.begin_compilation(
+            engine.placer.place(_plan(), config))
+        assert first.fresh_count == second.fresh_count > 0
+        racing_fresh = second.fresh_count
+        pipelines_first = first.finish()
+        pipelines_second = second.finish()
+        published = set(map(id, pipelines_first.values()))
+        for pipeline in pipelines_second.values():
+            assert id(pipeline) in published
+        assert engine.pipeline_cache.stats.redundant_compiles == racing_fresh
+
+
+class TestReviewRegressions:
+    """Pin the accounting edge cases found in review."""
+
+    def test_self_evicted_insert_leaves_no_phantom_entry_hits(self):
+        """An entry whose own insertion evicts it (lowest cost-aware
+        score on a full cache) must not linger in entry_hits: snapshot
+        residency would otherwise contradict size forever."""
+        cache = PipelineCache(capacity=1, policy="cost_aware")
+        cache.put("expensive", _Fake(1), cost=10.0)
+        cache.get("expensive")
+        cache.put("cheap", _Fake(2), cost=0.001)  # inserted, then victim
+        assert "cheap" not in cache and "expensive" in cache
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert {e["entry"] for e in snap["top_entries"]} == {"expensive"}
+        assert set(cache.stats.entry_hits) == {"expensive"}
+
+    def test_explicit_capacity_conflicts_with_cache_policy(self):
+        """Both knobs passed explicitly is ambiguous even when the
+        capacity equals the default (sentinel, not value comparison)."""
+        with pytest.raises(ValueError):
+            Proteus(segment_rows=1024, pipeline_cache_capacity=128,
+                    cache_policy=CachePolicy(capacity=64))
+        with pytest.raises(ValueError):
+            Proteus(segment_rows=1024, pipeline_cache_capacity=None,
+                    cache_policy=CachePolicy(capacity=64))
+        # one knob at a time stays fine
+        assert Proteus(segment_rows=1024,
+                       cache_policy=CachePolicy(capacity=64)
+                       ).pipeline_cache.capacity == 64
+        assert Proteus(segment_rows=1024, pipeline_cache_capacity=64
+                       ).pipeline_cache.capacity == 64
+
+    def test_enabled_but_empty_cache_still_reported(self):
+        """An empty PipelineCache is falsy (defines __len__); the batch
+        report must test identity, not truthiness, or an enabled cache
+        with only-miss history disappears from the report."""
+        engine = _engine()
+        report = engine.serve().run()  # no sessions, cache untouched
+        assert report.cache != {}
+        assert report.cache["capacity"] == 128

@@ -322,6 +322,47 @@ class TestWarmServerLatency:
         assert warm.latency < cold.latency
         assert warm.result.rows == cold.result.rows
 
+    def test_gpu_pipelines_charge_more_compile_latency(self, tables):
+        """The per-device compile-cost model: the same query compiled
+        for the GPUs pays ~5-10x the per-pipeline latency of its
+        CPU-only shape — no longer one flat constant per miss."""
+        from repro.engine.scheduler import DEFAULT_COMPILE_SECONDS
+
+        server = _server(tables, max_concurrent=1)
+        cpu = server.submit(
+            ssb_query("Q1.1"), ExecutionConfig.cpu_only(3, block_tuples=4096),
+            name="cpu")
+        server.run()
+        gpu = server.submit(
+            ssb_query("Q1.1"), ExecutionConfig.gpu_only([0, 1],
+                                                        block_tuples=4096),
+            name="gpu")
+        server.run()
+        assert cpu.compiled_fresh > 0 and gpu.compiled_fresh > 0
+        cpu_per_stage = cpu.compile_seconds_charged / cpu.compiled_fresh
+        gpu_per_stage = gpu.compile_seconds_charged / gpu.compiled_fresh
+        assert 5.0 <= gpu_per_stage / cpu_per_stage <= 10.0
+        # the charge is real simulated time, and at least the old flat
+        # constant per fresh pipeline (the base anchors the minimum)
+        assert gpu.latency >= gpu.compile_seconds_charged
+        assert cpu.compile_seconds_charged >= \
+            cpu.compiled_fresh * DEFAULT_COMPILE_SECONDS
+
+    def test_batch_report_carries_per_tier_cache_stats(self, tables):
+        """The per-batch cache report describes residency: lookups,
+        size/capacity and the hottest entries, not just hit/miss."""
+        server = _server(tables, max_concurrent=2)
+        config = ExecutionConfig.cpu_only(3, block_tuples=4096)
+        server.submit(ssb_query("Q1.1"), config)
+        server.submit(ssb_query("Q1.1"), config)
+        report = server.run()
+        cache = report.cache
+        assert cache["lookups"] == cache["hits"] + cache["misses"]
+        assert cache["size"] > 0 and cache["capacity"] > 0
+        assert isinstance(cache["top_entries"], list)
+        assert report.recompile_seconds > 0
+        assert "recompile cost" in report.summary()
+
 
 class TestReentrancyRegressions:
     """Pin the fixes that made phase networks re-entrant."""

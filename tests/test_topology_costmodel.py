@@ -6,6 +6,7 @@ from repro.hardware.costmodel import (
     CYCLES,
     DBMS_C_TUNING,
     DBMS_G_TUNING,
+    DEFAULT_COMPILE_SECONDS,
     PROTEUS_TUNING,
     BlockStats,
     CostModel,
@@ -156,3 +157,47 @@ class TestCostModel:
         )
         req = model.cpu_block_work(stats)
         assert req.rate_cap == pytest.approx(PAPER_SERVER.core_stream_bandwidth)
+
+
+class TestCompileDemand:
+    """Per-device JIT compile pricing (replaces the flat constant)."""
+
+    @staticmethod
+    def _stage(device, n_ops):
+        from repro.algebra.physical import OpUnpack, Stage
+        from repro.hardware.topology import DeviceType
+
+        dtype = DeviceType.GPU if device == "gpu" else DeviceType.CPU
+        return Stage(
+            stage_id=0, name=f"s-{device}", device=dtype,
+            ops=[OpUnpack(columns=["a"]) for _ in range(n_ops)], dop=1,
+        )
+
+    def test_gpu_pipelines_cost_5_to_10x_cpu(self):
+        model = CostModel(PAPER_SERVER)
+        cpu = model.compile_demand(self._stage("cpu", 3))
+        gpu = model.compile_demand(self._stage("gpu", 3))
+        assert 5.0 <= gpu / cpu <= 10.0
+
+    def test_longer_operator_chains_cost_more(self):
+        model = CostModel(PAPER_SERVER)
+        short = model.compile_demand(self._stage("cpu", 2))
+        long = model.compile_demand(self._stage("cpu", 6))
+        assert long > short
+
+    def test_base_seconds_rescales_and_zero_disables(self):
+        model = CostModel(PAPER_SERVER)
+        stage = self._stage("gpu", 4)
+        default = model.compile_demand(stage)
+        assert model.compile_demand(stage, base_seconds=DEFAULT_COMPILE_SECONDS) \
+            == pytest.approx(default)
+        assert model.compile_demand(stage, base_seconds=2 * DEFAULT_COMPILE_SECONDS) \
+            == pytest.approx(2 * default)
+        assert model.compile_demand(stage, base_seconds=0.0) == 0.0
+
+    def test_minimal_cpu_stage_pays_exactly_the_base(self):
+        """The smallest pipeline anchors to the historical flat charge,
+        so existing latency lower-bound tests stay valid."""
+        model = CostModel(PAPER_SERVER)
+        assert model.compile_demand(self._stage("cpu", 2)) \
+            == pytest.approx(DEFAULT_COMPILE_SECONDS)
