@@ -93,6 +93,72 @@ def test_hybrid_throughput_efficiency(fig5):
         f"hybrid efficiency {average:.2f} (paper: 0.885)")
 
 
+class TestTransferOverlap:
+    """PR 5 acceptance: double-buffered mem-move prefetching must hide
+    transfer latency behind compute on the PCIe-bound GPU executions.
+
+    The same 13 SSB queries, GPU-only at SF1000 (every one PCIe-bound
+    per the assertions above), run once with the overlap off
+    (``prefetch_depth=1``: a single staging buffer, the DMA on the
+    consumer's critical path) and once with the default double-buffered
+    prefetch (``prefetch_depth=2``).  Overlap must buy >= 15 % geo-mean
+    simulated time, with byte-identical query results.
+
+    Calibration note: the bar is stated against the PR-5 GPU probe
+    pricing (``gpu_random_amplification=3.6`` — 32 B transaction
+    sectors on 8-16 B probe payloads).  Under the old 1.6 figure, GPU
+    compute on the probe flights is short enough that serialising it
+    behind the transfers costs only ~9-10 % geo-mean; what overlap can
+    hide is exactly the per-block compute time, so this assertion
+    moves with that constant by construction.
+    """
+
+    @pytest.fixture(scope="class")
+    def sweep(self, settings):
+        from repro.engine.config import ExecutionConfig
+        from repro.ssb import generate_ssb, load_ssb, ssb_query
+        from repro.engine.proteus import Proteus
+
+        tables = generate_ssb(settings.physical_sf, settings.seed)
+        out = {}
+        for depth in (1, 2):
+            engine = Proteus(segment_rows=settings.segment_rows)
+            load_ssb(engine, tables=tables, logical_sf=1000.0)
+            config = ExecutionConfig.gpu_only(
+                settings.gpu_ids, block_tuples=settings.block_tuples,
+                prefetch_depth=depth,
+            )
+            out[depth] = {
+                qid: engine.query(ssb_query(qid), config)
+                for qid in SSB_QUERY_IDS
+            }
+        return out
+
+    def test_overlap_beats_serial_by_15_percent_geomean(self, sweep):
+        ratios = {
+            qid: sweep[1][qid].seconds / sweep[2][qid].seconds
+            for qid in SSB_QUERY_IDS
+        }
+        geomean = math.exp(
+            sum(math.log(r) for r in ratios.values()) / len(ratios)
+        )
+        print("\nprefetch_depth=1 vs 2, simulated seconds:")
+        for qid in SSB_QUERY_IDS:
+            print(f"  {qid}: serial={sweep[1][qid].seconds:.3f}s  "
+                  f"overlap={sweep[2][qid].seconds:.3f}s  "
+                  f"speedup={ratios[qid]:.3f}x")
+        print(f"  geo-mean speedup: {geomean:.3f}x")
+        assert geomean >= 1.15, (
+            f"overlap bought only {geomean:.3f}x geo-mean "
+            f"(acceptance: >= 1.15x)")
+        # overlap never loses on any individual query
+        assert all(r >= 1.0 - 1e-9 for r in ratios.values()), ratios
+
+    def test_overlap_results_byte_identical(self, sweep):
+        for qid in SSB_QUERY_IDS:
+            assert sweep[1][qid].rows == sweep[2][qid].rows, qid
+
+
 def test_dbms_g_out_of_core_behaviours(fig5):
     # flight 1: pageable copies, less than half the pinned bandwidth
     for qid in ("Q1.1", "Q1.2", "Q1.3"):

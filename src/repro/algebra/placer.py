@@ -66,11 +66,34 @@ from .physical import (
     validate_stage_graph,
 )
 
-__all__ = ["HeterogeneousPlacer", "PlacementError"]
+__all__ = ["HeterogeneousPlacer", "PlacementError", "TransferProfile"]
 
 
 class PlacementError(ValueError):
     """The logical plan has a shape the placer does not support."""
+
+
+@dataclass(frozen=True)
+class TransferProfile:
+    """Topology-routed transfer volumes of one placed plan.
+
+    Produced by :meth:`HeterogeneousPlacer.transfer_profile` from the
+    same :meth:`Server.paths_between
+    <repro.hardware.topology.Server.paths_between>` enumeration the
+    mem-move routes on at runtime, so admission control, elastic
+    resizing and placement all price transfers with one model.
+
+    ``pcie_bytes`` is the logical stream volume that crosses PCIe links
+    (host-resident sources feeding GPU consumers, broadcast builds
+    counted once per receiving GPU); ``qpi_bytes`` is the share of it
+    that additionally crosses the inter-socket interconnect because its
+    source socket holds none of the target GPUs; ``gpu_streaming`` is
+    True when any probe-phase GPU consumer reads host-resident data.
+    """
+
+    pcie_bytes: float = 0.0
+    qpi_bytes: float = 0.0
+    gpu_streaming: bool = False
 
 
 @dataclass
@@ -219,6 +242,67 @@ class HeterogeneousPlacer:
         chain = list(reversed(chain_rev))
         chain.append(OpBuildSink(ht_id, join.build_key, list(join.payload)))
         return chain, node
+
+    # -- transfer model ---------------------------------------------------------
+
+    def transfer_profile(self, het: HetPlan, config: "ExecutionConfig") -> TransferProfile:
+        """Price a placed plan's data movement over the interconnect topology.
+
+        Walks every phase's segmenter source against the catalog's
+        physical placement: host-resident segments feeding GPU consumers
+        cross PCIe (broadcast build phases once per receiving GPU —
+        every hash-table domain gets a private copy), and the share
+        whose home socket holds none of the receiving GPUs crosses the
+        inter-socket interconnect too.  This is the same topology the
+        mem-move routes on at runtime
+        (:meth:`~repro.hardware.topology.Server.paths_between`), so the
+        scheduler's admission demand and the executor's DMA traffic
+        price transfers with one model.
+        """
+        if not config.uses_gpu:
+            return TransferProfile()
+        gpu_sockets = {
+            self.server.gpus[g].socket_id for g in config.gpu_ids
+        }
+        pcie = 0.0
+        qpi = 0.0
+        gpu_streaming = False
+        for phase in het.phases:
+            is_build = phase.produces_ht is not None
+            for stage in phase.source_stages():
+                table = stage.source.table
+                total_rows = self.catalog.table(table).num_rows
+                if total_rows == 0:
+                    continue
+                total_bytes = self.catalog.logical_bytes(
+                    table, stage.source.columns
+                )
+                for segment in self.catalog.placement(table).segments:
+                    node = self.server.memory_nodes[segment.node_id]
+                    if node.kind is not DeviceType.CPU:
+                        # device-resident segments are pinned to their
+                        # GPU by the router; no PCIe crossing
+                        continue
+                    seg_bytes = total_bytes * (segment.num_rows / total_rows)
+                    seg_socket = self.server.socket_of(segment.node_id)
+                    if is_build:
+                        # broadcast: one private copy per GPU domain
+                        pcie += seg_bytes * len(config.gpu_ids)
+                        qpi += seg_bytes * sum(
+                            1 for g in config.gpu_ids
+                            if self.server.gpus[g].socket_id != seg_socket
+                        )
+                    else:
+                        gpu_streaming = True
+                        pcie += seg_bytes
+                        if seg_socket not in gpu_sockets:
+                            qpi += seg_bytes
+        if not gpu_streaming:
+            # GPU-resident probes never stream; builds alone do not hold
+            # a PCIe window open for the query's lifetime
+            return TransferProfile()
+        return TransferProfile(pcie_bytes=pcie, qpi_bytes=qpi,
+                               gpu_streaming=True)
 
     # -- placement: parallel (HetExchange) ------------------------------------------
 

@@ -5,39 +5,98 @@ memory of producers and consumers...  In case the data are already local
 to the consumer, it only forwards the block handle, without doing any data
 transfers."
 
-The runtime here reproduces the operator's two halves:
+The runtime here reproduces the operator's two halves, plus the two
+transfer-side optimisations that hide PCIe latency behind compute:
 
-* the **producer half** (:meth:`MemMove.schedule`) inspects a handle's
-  residence, and when the block is remote to the consumer it acquires a
-  staging block on the destination node (through the block-manager set,
-  paying the remote-acquire latency on a cache miss), spawns an
-  asynchronous DMA process, and returns immediately with a relocated
-  handle whose ``transfer_done`` event the consumer must await;
+* the **producer half** runs ahead of the consumer.
+  :meth:`MemMove.prefetch_proc` is a double-buffered prefetch pipeline:
+  while the consumer computes on the current block it acquires staging
+  blocks and launches asynchronous DMAs for up to ``prefetch_depth``
+  further blocks, under **credit-based backpressure** — a staging credit
+  is held from :meth:`schedule` until the consumer's
+  :meth:`release_staged` epilogue, so at most ``prefetch_depth`` staging
+  slots per target node are ever outstanding and staging memory stays
+  bounded and accounted through the shared
+  :class:`~repro.memory.managers.BlockManagerSet` arenas.
+  ``prefetch_depth=1`` turns the overlap off: with a single staging
+  buffer the transfer sits on the consumer's critical path (the worker
+  runs :meth:`schedule` inline and waits), which is the baseline the
+  fig5-tier overlap benchmark compares against;
+* **topology-routed DMA**: :meth:`schedule` enumerates the candidate
+  interconnect routes (:meth:`Server.paths_between
+  <repro.hardware.topology.Server.paths_between>` — e.g. the direct
+  remote-read path versus the NUMA hop through the destination socket's
+  staging arena) and, under the default ``path_selection="contention"``
+  policy, prices each against live per-link queue depths with
+  :meth:`CostModel.transfer_demand
+  <repro.hardware.costmodel.CostModel.transfer_demand>`, launching the
+  DMA on the cheapest route (strict ``<`` comparison in enumeration
+  order, so ties fall back deterministically to the direct path);
+  ``path_selection="direct"`` always takes the first enumerated route;
 * the **consumer half** is just ``yield handle.transfer_done`` in the
   consuming worker (Listing 1, pipeline 10: "wait DMA transfer for b to
-  finish").
+  finish"), followed by :meth:`release_staged` once the block has been
+  processed.
 
-The DMA process occupies every PCIe link on the source->destination path
-*and* the host DRAM nodes it reads/writes — this coupling is what
-produces the paper's compute/transfer interference (Figure 6) and the
-PCIe-bound GPU executions of Figure 5.
+The DMA process occupies every interconnect link on the chosen path
+*and* the host DRAM nodes it reads/writes/bounces through — this
+coupling is what produces the paper's compute/transfer interference
+(Figure 6) and the PCIe-bound GPU executions of Figure 5.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Optional
 
 from ..hardware.costmodel import CostModel
-from ..hardware.sim import Event, Simulator
-from ..hardware.topology import Server
+from ..hardware.sim import Event, Simulator, Store
+from ..hardware.topology import Path, Server
 from ..memory.block import Block, BlockHandle
 from ..memory.managers import BlockManagerSet
 
-__all__ = ["MemMove", "DMA_WEIGHT"]
+__all__ = [
+    "MemMove",
+    "DMA_WEIGHT",
+    "PATH_POLICIES",
+    "DEFAULT_PREFETCH_DEPTH",
+    "path_transfer_jobs",
+]
 
 #: memory-controller arbitration weight of DMA streams relative to core
 #: load/store traffic (transfers keep most of their bandwidth when many
 #: cores saturate the bus; interference remains but is bounded)
 DMA_WEIGHT = 3.0
+
+#: recognised ``path_selection`` policies: "direct" always takes the
+#: first enumerated route; "contention" prices every route against live
+#: link queue depths and picks the cheapest (deterministic on ties)
+PATH_POLICIES = ("direct", "contention")
+
+#: staging blocks a consumer instance may hold in flight ahead of its
+#: compute (1 = overlap off: the transfer sits on the critical path)
+DEFAULT_PREFETCH_DEPTH = 2
+
+
+def path_transfer_jobs(path: Path, nbytes: float, rate_cap: float,
+                       label: str) -> list[Event]:
+    """Occupy every resource of one interconnect route for a transfer.
+
+    The single definition of what "a transfer crosses ``path``" means —
+    one rate-capped bandwidth job per link, one DMA-weighted job per
+    host DRAM node touched/bounced — shared by the mem-move's DMA
+    process and the bare-GPU UVA stream so both price routes
+    identically.
+    """
+    jobs = [
+        link.bandwidth.submit(nbytes, rate_cap=rate_cap, label=label)
+        for link in path.links
+    ]
+    jobs.extend(
+        dram.bandwidth.submit(nbytes, rate_cap=rate_cap,
+                              label=f"{label}-host", weight=DMA_WEIGHT)
+        for dram in path.drams
+    )
+    return jobs
 
 
 class MemMove:
@@ -49,18 +108,82 @@ class MemMove:
         server: Server,
         blocks: BlockManagerSet,
         cost: CostModel,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        path_selection: str = "contention",
     ):
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if path_selection not in PATH_POLICIES:
+            raise ValueError(
+                f"unknown path_selection {path_selection!r}; expected one "
+                f"of {PATH_POLICIES}"
+            )
         self.sim = sim
         self.server = server
         self.blocks = blocks
         self.cost = cost
+        self.prefetch_depth = prefetch_depth
+        self.path_selection = path_selection
         self.transfers = 0
         self.bytes_moved = 0.0
         self.forwards = 0
+        #: transfers launched per chosen route key (introspection/tests)
+        self.path_counts: dict[str, int] = {}
         #: staging slots acquired for in-flight transfers, per target node;
         #: consumers return them via release_staged, and abort_outstanding
         #: reclaims whatever a failed query's wedged consumers still hold
         self._staged_outstanding: dict[str, int] = {}
+        #: prefetchers parked until a staging credit frees, per target node
+        self._credit_waiters: dict[str, list[Event]] = {}
+
+    # -- path selection ------------------------------------------------------------
+
+    def _cheapest(self, paths: list, nbytes: float,
+                  scale: float) -> tuple[Path, float]:
+        """Contention scoring: the single loop behind both route
+        selection and the router's locality projection, so the two can
+        never drift apart.  Strict ``<`` keeps ties on the first
+        (direct) enumeration entry."""
+        best = paths[0]
+        best_cost = self.cost.transfer_demand(nbytes, best, scale=scale)
+        for path in paths[1:]:
+            cost = self.cost.transfer_demand(nbytes, path, scale=scale)
+            if cost < best_cost:
+                best, best_cost = path, cost
+        return best, best_cost
+
+    def select_path(self, src_node: str, dst_node: str, nbytes: float,
+                    scale: float = 1.0) -> Path:
+        """Choose the interconnect route for one transfer, at launch time.
+
+        ``"direct"`` always returns the first enumerated path (the
+        legacy single-engine route) without pricing anything;
+        ``"contention"`` prices every candidate against the live
+        per-link queue depths and returns the cheapest, falling back to
+        enumeration order on ties, which makes the choice deterministic.
+        """
+        paths = self.server.paths_between(src_node, dst_node)
+        if self.path_selection == "direct" or len(paths) == 1:
+            return paths[0]
+        return self._cheapest(paths, nbytes, scale)[0]
+
+    def projected_cost(self, handle: BlockHandle, target_node: str) -> float:
+        """Estimated seconds to make ``handle`` local to ``target_node``.
+
+        Zero for already-local blocks; otherwise the priced cost of the
+        route :meth:`schedule` would pick right now.  Routers consult
+        this for locality-first consumer selection (a block flows to the
+        instance whose memory it can reach cheapest when queue loads
+        tie).
+        """
+        if handle.node_id == target_node:
+            return 0.0
+        nbytes = handle.block.nbytes
+        scale = handle.block.logical_scale
+        paths = self.server.paths_between(handle.node_id, target_node)
+        if self.path_selection == "direct" or len(paths) == 1:
+            return self.cost.transfer_demand(nbytes, paths[0], scale=scale)
+        return self._cheapest(paths, nbytes, scale)[1]
 
     # -- producer half ------------------------------------------------------------
 
@@ -68,9 +191,12 @@ class MemMove:
         """Ensure the handle's block will be local to ``target_node``.
 
         Local blocks are forwarded untouched; remote blocks get an
-        asynchronous DMA scheduled and a relocated handle returned.  The
+        asynchronous DMA scheduled (on the route :meth:`select_path`
+        picks at this instant) and a relocated handle returned.  The
         caller must ``yield`` the returned handle's ``transfer_done`` (if
-        set) before reading the block.
+        set) before reading the block, and call :meth:`release_staged`
+        once done with it.  One staging credit is held from here until
+        that release.
         """
         if handle.node_id == target_node:
             self.forwards += 1
@@ -78,10 +204,14 @@ class MemMove:
         acquire_latency = self.blocks.acquire_remote(
             local_node=handle.node_id, remote_node=target_node
         )
+        path = self.select_path(handle.node_id, target_node,
+                                handle.block.nbytes,
+                                scale=handle.block.logical_scale)
+        self.path_counts[path.key] = self.path_counts.get(path.key, 0) + 1
         moved = handle.block.with_node(target_node)
         done = self.sim.event(name=f"dma:{handle.block.block_id}->{target_node}")
         self.sim.process(
-            self._dma(handle.block, target_node, acquire_latency, done),
+            self._dma(handle.block, path, acquire_latency, done),
             name=f"memmove:{handle.block.block_id}",
         )
         new_handle = handle.routed_copy(block=moved)
@@ -93,60 +223,121 @@ class MemMove:
         )
         return new_handle
 
+    # -- credit-based backpressure -------------------------------------------------
+
+    def has_credit(self, node_id: str) -> bool:
+        """May another staging block be put in flight for ``node_id``?"""
+        return self._staged_outstanding.get(node_id, 0) < self.prefetch_depth
+
+    def await_credit(self, node_id: str) -> Event:
+        """Event triggered when a staging credit for ``node_id`` frees.
+
+        Callers must re-check :meth:`has_credit` after waking (wake-ups
+        are broadcast so an aborted pipeline cannot strand waiters).
+        """
+        event = self.sim.event(name=f"memmove-credit:{node_id}")
+        self._credit_waiters.setdefault(node_id, []).append(event)
+        return event
+
+    def _wake_credit_waiters(self, node_id: str) -> None:
+        waiters = self._credit_waiters.pop(node_id, None)
+        if not waiters:
+            return
+        for event in waiters:
+            if not event.triggered:
+                event.trigger(None)
+
+    def prefetch_proc(
+        self,
+        source: Store,
+        fetched: Store,
+        target_node: str,
+        needs_move: Callable[[BlockHandle], bool],
+    ):
+        """DES process: the producer half running ahead of one consumer.
+
+        Pulls handles from ``source``, launches the mem-move for those
+        ``needs_move`` says are remote (waiting for a staging credit
+        first, so at most ``prefetch_depth`` transfers are ever staged
+        ahead of the consumer), and forwards the relocated handles into
+        ``fetched`` for the consumer to drain.  Staged handles carry
+        ``meta["staged"]`` so the consumer's epilogue knows to call
+        :meth:`release_staged`.
+        """
+        while True:
+            got = source.get()
+            yield got
+            handle = got.value
+            if handle is Store.END:
+                fetched.close()
+                return
+            if needs_move(handle):
+                while not self.has_credit(target_node):
+                    yield self.await_credit(target_node)
+                handle = self.schedule(handle, target_node)
+                handle.meta["staged"] = True
+            yield fetched.put(handle)
+
     def release_staged(self, node_id: str) -> None:
         """Consumer half's epilogue: return one staging slot to the arena.
 
         Tolerant of an abort race: if the query was aborted and the slot
         already reclaimed by :meth:`abort_outstanding`, this is a no-op
-        (the arena must not be over-released).
+        (the arena must not be over-released).  Frees one prefetch
+        credit either way, waking a parked prefetcher.
         """
         count = self._staged_outstanding.get(node_id, 0)
-        if count <= 0:
-            return
-        self._staged_outstanding[node_id] = count - 1
-        self.blocks.release(node_id)
+        if count > 0:
+            self._staged_outstanding[node_id] = count - 1
+            self.blocks.release(node_id)
+        self._wake_credit_waiters(node_id)
 
     def abort_outstanding(self) -> None:
         """Reclaim every staging slot still held by in-flight transfers.
 
-        Called when the owning query dies: its wedged consumers will
-        never run their release epilogue, and the staging arenas are
-        shared with every other query on the server.  Idempotent.
+        Called when the owning query dies: its wedged consumers — parked
+        mid-``transfer_done`` wait, or holding handles that were staged
+        into a prefetch buffer and never consumed — will never run their
+        release epilogue, and the staging arenas are shared with every
+        other query on the server.  Credit waiters are flushed too, so a
+        sibling prefetcher parked on :meth:`await_credit` cannot be
+        stranded holding its queue slot.  Idempotent.
         """
         for node_id, count in self._staged_outstanding.items():
             if count > 0:
                 self.blocks.release(node_id, count)
                 self._staged_outstanding[node_id] = 0
+        for node_id in list(self._credit_waiters):
+            self._wake_credit_waiters(node_id)
 
     # -- the asynchronous DMA process ------------------------------------------------
 
-    def _dma(self, block: Block, target_node: str, acquire_latency: float,
+    def _dma(self, block: Block, path: Path, acquire_latency: float,
              done: Event):
         plan = self.cost.transfer_plan(block.nbytes, scale=block.logical_scale)
-        yield self.sim.timeout(plan.setup_seconds + acquire_latency)
-        jobs = []
-        for link in self.server.links_on_path(block.node_id, target_node):
-            jobs.append(
-                link.bandwidth.submit(
-                    plan.nbytes, rate_cap=plan.link_rate_cap,
-                    label=f"dma:{block.block_id}",
-                )
-            )
-        for dram in self.server.dram_on_path(block.node_id, target_node):
-            jobs.append(
-                dram.bandwidth.submit(
-                    plan.nbytes, rate_cap=plan.link_rate_cap,
-                    label=f"dma-host:{block.block_id}", weight=DMA_WEIGHT,
-                )
-            )
+        # path_rate_cap is the single source of the stream cap (pinned /
+        # pageable / peer-DMA): it subsumes plan.link_rate_cap
+        rate_cap = self.cost.path_rate_cap(path)
+        yield self.sim.timeout(
+            plan.setup_seconds * path.setups + acquire_latency
+        )
+        jobs = path_transfer_jobs(
+            path, plan.nbytes, rate_cap, label=f"dma:{block.block_id}"
+        )
         if jobs:
             yield self.sim.all_of(jobs)
         # The staging slot acquired for this transfer is released by the
-        # consumer once it has processed the block (the executor calls
-        # blocks.release(target_node) after the pipeline invocation).
+        # consumer once it has processed the block (release_staged in the
+        # worker's epilogue), not when the wire goes quiet.
         done.trigger(None)
 
     # -- introspection -----------------------------------------------------------------
+
+    def staged_outstanding(self, node_id: Optional[str] = None) -> int:
+        """Staging slots currently held (per node, or in total)."""
+        if node_id is not None:
+            return self._staged_outstanding.get(node_id, 0)
+        return sum(self._staged_outstanding.values())
 
     def stats(self) -> dict[str, float]:
         return {

@@ -61,6 +61,12 @@ class ConsumerGroup:
     stage: Stage
     #: memory node of each instance ('cpu:<socket>' or 'gpu:<k>')
     instance_nodes: list[str]
+    #: projected transfer cost of making a handle local to a node
+    #: (``fn(handle, node_id) -> seconds``); wired by the executor to
+    #: the mem-move's path-priced estimate so instance selection is
+    #: locality-first, not just queue-depth-first.  None falls back to
+    #: a same-node/remote two-level heuristic.
+    transfer_cost: Optional[object] = None
     shared_queue: Optional[Store] = None
     instance_queues: list[Store] = field(default_factory=list)
     #: blocks handed to this group / blocks its workers finished; the
@@ -324,11 +330,27 @@ class Router:
         # Proteus co-partitions likewise).  Blocks resident elsewhere (the
         # CPU-side stream of Figure 5) go to the instance with the fewest
         # blocks in flight (queue lengths alone are blind to blocks already
-        # buffered in the instance's prefetcher).
+        # buffered in the instance's prefetcher); equal loads break on the
+        # PROJECTED TRANSFER COST of making the block local (the mem-move's
+        # path-priced estimate), then on the instance index — so routing is
+        # deterministic, and under balanced load a block flows to the
+        # socket/GPU where it is cheapest to deliver instead of piling onto
+        # the lowest index and paying avoidable cross-socket DMA.
         for i, node in enumerate(group.instance_nodes):
             if node == handle.node_id:
                 return i
         in_flight = [
             a - c for a, c in zip(group.instance_assigned, group.instance_completed)
         ]
-        return in_flight.index(min(in_flight))
+        least = min(in_flight)
+        tied = [i for i, load in enumerate(in_flight) if load == least]
+        if len(tied) == 1:
+            return tied[0]
+        # Only price the tie: path pricing walks the topology, so keep it
+        # off the routing hot path whenever load alone decides.
+        cost_of = group.transfer_cost
+        if cost_of is None:
+            return tied[0]
+        return min(
+            tied, key=lambda i: (cost_of(handle, group.instance_nodes[i]), i)
+        )

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from ..core.mem_move import DEFAULT_PREFETCH_DEPTH, PATH_POLICIES
 from ..hardware.topology import DeviceType
 from ..jit.cache import EVICTION_POLICIES
 
@@ -190,10 +191,25 @@ class ExecutionConfig:
     block_tuples: int = 1 << 20
     #: interleave CPU workers across sockets (the paper's Figure 6 setup)
     interleave_sockets: bool = True
+    #: staging blocks the mem-move keeps in flight ahead of each
+    #: consumer instance (credit-based; 1 = transfer/compute overlap OFF,
+    #: the DMA sits on the consumer's critical path)
+    prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
+    #: DMA route policy: "contention" prices every interconnect path
+    #: against live link queue depths at launch time, "direct" always
+    #: takes the first enumerated (legacy) route
+    path_selection: str = "contention"
 
     def __post_init__(self):
         if self.cpu_workers < 0:
             raise ValueError("cpu_workers must be >= 0")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if self.path_selection not in PATH_POLICIES:
+            raise ValueError(
+                f"unknown path_selection {self.path_selection!r}; expected "
+                f"one of {PATH_POLICIES}"
+            )
         if self.cpu_workers == 0 and not self.gpu_ids:
             raise ValueError("configuration selects no compute units")
         if self.bare:

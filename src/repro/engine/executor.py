@@ -7,9 +7,13 @@ the discrete-event simulator:
 * segmenter sources emit block handles (control plane only);
 * one :class:`~repro.core.router.Router` per producer stage distributes
   handles to consumer groups (bounded queues => pull-style backpressure);
-* per consumer instance, a *fetcher* coroutine runs the mem-move producer
-  half (asynchronous DMA + prefetch, depth :data:`PREFETCH_DEPTH`) so
-  transfers overlap the worker's compute;
+* per consumer instance, a *prefetcher* coroutine runs the mem-move
+  producer half (:meth:`~repro.core.mem_move.MemMove.prefetch_proc`:
+  asynchronous, topology-routed DMA for up to
+  ``config.prefetch_depth`` blocks ahead, under credit-based staging
+  backpressure) so transfers overlap the worker's compute;
+  ``prefetch_depth=1`` disables the overlap — the worker runs the
+  mem-move inline and the transfer sits on its critical path;
 * worker coroutines run the JIT-compiled pipeline over each block, charge
   the cost model's resource demands (socket DRAM / GPU HBM / PCIe), and
   forward packed outputs to the next router — GPU workers launch kernels
@@ -50,7 +54,7 @@ from ..algebra.physical import (
     validate_stage_placement,
 )
 from ..core.device_crossing import Cpu2Gpu, Gpu2Cpu
-from ..core.mem_move import MemMove
+from ..core.mem_move import DEFAULT_PREFETCH_DEPTH, MemMove, path_transfer_jobs
 from ..core.router import ConsumerGroup, Router
 from ..core.segmenter import Segmenter
 from ..engine.config import ExecutionConfig
@@ -73,8 +77,10 @@ __all__ = [
     "PREFETCH_DEPTH",
 ]
 
-#: how many blocks a consumer instance prefetches ahead of its compute
-PREFETCH_DEPTH = 2
+#: default staging depth a consumer instance prefetches ahead of its
+#: compute (overridden per query by ``ExecutionConfig.prefetch_depth``;
+#: kept as a module constant for backward compatibility)
+PREFETCH_DEPTH = DEFAULT_PREFETCH_DEPTH
 
 
 class QueryError(RuntimeError):
@@ -626,7 +632,18 @@ class Executor:
                 query_id=query_id,
             )
 
-        mem_move = MemMove(self.sim, self.server, self.blocks, self.cost)
+        mem_move = MemMove(
+            self.sim, self.server, self.blocks, self.cost,
+            prefetch_depth=config.prefetch_depth,
+            path_selection=config.path_selection,
+        )
+        # Locality-first instance selection: routers price a candidate
+        # consumer by the mem-move's projected (path-routed) transfer
+        # cost, so equal queue loads break toward the socket/GPU where
+        # the block is already resident or cheapest to deliver.
+        for router in routers.values():
+            for group in router.groups:
+                group.transfer_cost = mem_move.projected_cost
         processes = []
 
         # Router init + thread pinning (~10 ms): all of a query's routers
@@ -677,17 +694,27 @@ class Executor:
                     if group.per_instance
                     else group.shared_queue
                 )
-                if instance.device is DeviceType.GPU:
+                overlap = (
+                    instance.device is DeviceType.GPU
+                    and config.prefetch_depth > 1
+                    and edge is not None
+                    and edge.mem_move
+                )
+                if overlap:
                     # GPU instances prefetch ahead so DMA overlaps kernels
-                    # (the mem-move producer half runs in the fetcher).
+                    # (the mem-move producer half runs in the prefetcher,
+                    # staging up to prefetch_depth blocks under credit
+                    # backpressure).
                     fetched = self.sim.store(
-                        capacity=PREFETCH_DEPTH,
+                        capacity=config.prefetch_depth,
                         name=f"{query_id}:fetch-{stage.name}-{instance.index}",
                     )
+                    needs_move = self._needs_move(instance, edge)
                     processes.append(
                         self.sim.process(
-                            self._fetch_proc(queue, fetched, instance, edge,
-                                             mem_move),
+                            mem_move.prefetch_proc(
+                                queue, fetched, instance.node_id, needs_move
+                            ),
                             name=f"{query_id}:fetch-{stage.name}-{instance.index}",
                         )
                     )
@@ -696,6 +723,9 @@ class Executor:
                     # CPU workers pull straight from the (shared) queue:
                     # NUMA reads need no staging, and eager prefetchers
                     # would skew the morsel distribution across workers.
+                    # GPU workers land here too when prefetch_depth=1
+                    # (overlap off): they run the mem-move inline, so the
+                    # transfer sits on their critical path.
                     source = queue
                 processes.append(
                     self.sim.process(
@@ -778,22 +808,17 @@ class Executor:
             yield router.input.put(handle)
         router.input.close()
 
-    def _fetch_proc(self, queue: Store, fetched: Store, instance: _Instance,
-                    edge: Optional[ExchangeEdge], mem_move: MemMove):
-        """Mem-move producer half + prefetch ahead of the worker."""
-        while True:
-            got = queue.get()
-            yield got
-            handle = got.value
-            if handle is Store.END:
-                fetched.close()
-                return
-            if edge is not None and edge.mem_move and not self._accessible(
-                handle, instance
-            ):
-                handle = mem_move.schedule(handle, instance.node_id)
-                handle.meta["staged"] = True
-            yield fetched.put(handle)
+    def _needs_move(self, instance: _Instance, edge: Optional[ExchangeEdge]):
+        """Predicate the prefetcher uses: must this handle be staged?"""
+
+        def needs_move(handle: BlockHandle) -> bool:
+            return (
+                edge is not None
+                and edge.mem_move
+                and not self._accessible(handle, instance)
+            )
+
+        return needs_move
 
     def _accessible(self, handle: BlockHandle, instance: _Instance) -> bool:
         """Can the instance read the block without a transfer?
@@ -901,22 +926,17 @@ class Executor:
         req = self.cost.gpu_block_work(delta, scale)
         if uva and handle.node_id != instance.node_id:
             # Without HetExchange the kernel reads host memory through UVA:
-            # the *streamed input* crosses the PCIe link while the kernel's
+            # the *streamed input* crosses the direct interconnect route
+            # (remote-socket reads pay the peer-DMA cap, exactly as a
+            # mem-move on the same route would) while the kernel's
             # device-memory traffic (hash probes, intermediates) proceeds
             # at HBM speed; the block completes when both are done.
-            gpu = self.server.gpus[instance.unit]
             plan = self.cost.transfer_plan(delta.bytes_in, scale=scale)
-            jobs = [
-                gpu.link.bandwidth.submit(plan.nbytes, rate_cap=plan.link_rate_cap,
-                                          label="uva"),
-            ]
-            from ..core.mem_move import DMA_WEIGHT
-
-            for dram in self.server.dram_on_path(handle.node_id, instance.node_id):
-                jobs.append(
-                    dram.bandwidth.submit(plan.nbytes, rate_cap=plan.link_rate_cap,
-                                          label="uva-host", weight=DMA_WEIGHT)
-                )
+            path = self.server.paths_between(
+                handle.node_id, instance.node_id
+            )[0]
+            cap = self.cost.path_rate_cap(path)
+            jobs = path_transfer_jobs(path, plan.nbytes, cap, label="uva")
             launch = self.sim.process(cpu2gpu.launch(req), name="kernel-uva")
             jobs.append(launch)
             yield self.sim.all_of(jobs)

@@ -98,7 +98,6 @@ from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
 from .config import ElasticPolicy, ExecutionConfig, QoS
-from .executor import PREFETCH_DEPTH
 from .proteus import Proteus
 from .results import QueryResult
 
@@ -171,7 +170,9 @@ class ResourceBudget:
         GPUs are time-shared between kernels, so ``gpu_oversubscription``
         queries may target the same device; the PCIe dimension caps the
         PCIe-bound stream volume admitted at once to what the links can
-        move in ``pcie_window_seconds``.
+        move in ``pcie_window_seconds``, and the QPI dimension does the
+        same for the cross-socket share of those streams against the
+        inter-socket interconnect.
         """
         spec = server.spec
         dram = sum(
@@ -184,6 +185,7 @@ class ResourceBudget:
             dram_bytes=dram,
             hbm_bytes=hbm,
             pcie_bytes=spec.aggregate_pcie_bandwidth * pcie_window_seconds,
+            qpi_bytes=spec.qpi_bandwidth * pcie_window_seconds,
             cpu_cores=len(server.cores),
             gpu_units=len(server.gpus) * gpu_oversubscription,
         )
@@ -517,8 +519,11 @@ def _memory_share(demand: QueryDemand) -> QueryDemand:
     """What a paused query keeps charged: the DRAM/HBM its operator
     state (hash tables built in completed phases) still physically
     occupies.  Releasing it would let admission place a query whose
-    runtime allocation then fails with out-of-device-memory."""
-    return replace(demand, pcie_bytes=0.0, cpu_cores=0, gpu_units=0)
+    runtime allocation then fails with out-of-device-memory.  The
+    stream windows (PCIe and its cross-socket QPI share) travel with
+    the compute share — a paused query moves no data."""
+    return replace(demand, pcie_bytes=0.0, qpi_bytes=0.0, cpu_cores=0,
+                   gpu_units=0)
 
 
 @dataclass
@@ -1524,27 +1529,21 @@ class EngineServer:
     ) -> QueryDemand:
         """Cost-model demand estimate for one placed plan.
 
-        Streamed bytes come from the working set of every segmenter
-        source; state bytes from each build phase's key+payload columns
-        (plus the hash table's bucket overhead).  GPU configurations
-        whose probe inputs reside in host memory stream them over PCIe.
-        The QoS contract rides along on the demand so the admission
-        queue can rank entries without a side channel.
+        Transfer volumes come from the placer's topology-routed
+        :meth:`~repro.algebra.placer.HeterogeneousPlacer.transfer_profile`
+        (the same path model the mem-move routes on at runtime): the
+        PCIe dimension carries the host-resident stream a GPU
+        configuration pulls over the links, the QPI dimension its
+        cross-socket share.  State bytes come from each build phase's
+        key+payload columns (plus the hash table's bucket overhead);
+        staging is charged per worker at the query's configured
+        ``prefetch_depth`` (each consumer instance may hold that many
+        staging blocks in flight, plus queue slack).  The QoS contract
+        rides along on the demand so the admission queue can rank
+        entries without a side channel.
         """
-        streamed = 0.0
         state_bytes = 0.0
-        gpu_streaming = False
         for phase in het.phases:
-            for stage in phase.source_stages():
-                table = stage.source.table
-                streamed += self.catalog.logical_bytes(table, stage.source.columns)
-                if config.uses_gpu and phase.produces_ht is None:
-                    placement = self.catalog.placement(table)
-                    for segment in placement.segments:
-                        node = self.server.memory_nodes[segment.node_id]
-                        if node.kind is DeviceType.CPU:
-                            gpu_streaming = True
-                            break
             if phase.produces_ht is None:
                 continue
             source = phase.source_stages()[0]
@@ -1564,15 +1563,24 @@ class EngineServer:
                 self.catalog.logical_bytes(table.name, columns)
                 + 16.0 * table.num_rows * scale  # bucket/next-pointer overhead
             )
-        staging = self.engine.blocks.block_bytes * (PREFETCH_DEPTH + 2)
+        profile = self.placer.transfer_profile(het, config)
+        block_bytes = self.engine.blocks.block_bytes
+        # CPU workers run the mem-move inline (one staged block at most,
+        # plus shared-queue slack) — their charge is depth-independent;
+        # only GPU consumer instances hold prefetch_depth staged blocks
+        # in flight.
+        cpu_staging = block_bytes * 4
+        gpu_staging = block_bytes * (config.prefetch_depth + 2)
         return self.cost.admission_demand(
-            streamed_bytes=streamed,
+            streamed_bytes=profile.pcie_bytes,
             cpu_state_bytes=state_bytes if config.uses_cpu else 0.0,
             gpu_state_bytes=state_bytes if config.uses_gpu else 0.0,
             cpu_workers=config.cpu_workers,
             gpu_units=len(config.gpu_ids),
-            gpu_streaming=gpu_streaming,
-            staging_bytes_per_worker=staging,
+            gpu_streaming=profile.gpu_streaming,
+            cross_socket_bytes=profile.qpi_bytes,
+            staging_bytes_per_worker=cpu_staging,
+            gpu_staging_bytes_per_unit=gpu_staging,
             priority=qos.priority,
             deadline_seconds=qos.deadline_seconds,
         )

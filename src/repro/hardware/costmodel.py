@@ -137,6 +137,10 @@ class QueryDemand:
     hbm_bytes: float = 0.0
     #: stream volume that must cross PCIe links (logical bytes)
     pcie_bytes: float = 0.0
+    #: stream volume that must cross the inter-socket interconnect
+    #: (logical bytes; topology-routed transfers whose source socket
+    #: holds no target device)
+    qpi_bytes: float = 0.0
     #: CPU worker threads the query pins
     cpu_cores: int = 0
     #: GPU devices the query launches kernels on
@@ -152,6 +156,7 @@ class QueryDemand:
             "dram_bytes": self.dram_bytes,
             "hbm_bytes": self.hbm_bytes,
             "pcie_bytes": self.pcie_bytes,
+            "qpi_bytes": self.qpi_bytes,
             "cpu_cores": float(self.cpu_cores),
             "gpu_units": float(self.gpu_units),
         }
@@ -163,8 +168,12 @@ class EngineTuning:
 
     #: CPU cache-line amplification of random accesses.
     cpu_random_amplification: float = 4.0
-    #: GPU amplification (latency hiding leaves bandwidth waste only).
-    gpu_random_amplification: float = 1.6
+    #: GPU amplification: the SIMT thread count hides the *latency* of a
+    #: random probe, but every 8-16 B probe payload still drags a full
+    #: 32 B memory-transaction sector through the controller, and tables
+    #: spilled past the 2 MB on-chip cache add TLB walks on top — the
+    #: bandwidth waste survives even at full occupancy.
+    gpu_random_amplification: float = 3.6
     #: Aggregate GPU op throughput (op units / second) at full occupancy.
     gpu_compute_rate: float = 400e9
     #: Fraction of GPU resources usable (register pressure, occupancy).
@@ -285,6 +294,46 @@ class CostModel:
             setup_seconds=self.spec.dma_setup_seconds,
         )
 
+    def path_rate_cap(self, path) -> float:
+        """Peak rate one DMA stream reaches over ``path``.
+
+        The pinned stream cap (or the pageable cap for engines staging
+        through pageable memory), further limited to the peer-DMA rate
+        on routes whose engine issues remote-socket reads.
+        """
+        cap = self.spec.pcie_stream_cap
+        if self.tuning.pageable_transfer_bandwidth is not None:
+            cap = min(cap, self.tuning.pageable_transfer_bandwidth)
+        if path.peer_dma:
+            cap = min(cap, self.spec.qpi_peer_dma_cap)
+        return cap
+
+    def transfer_demand(self, nbytes: float, path, scale: float = 1.0) -> float:
+        """Estimated seconds to move ``nbytes`` over ``path`` right now.
+
+        Prices the route against the *live* queue depths of every link
+        and host DRAM node it occupies: each resource's contribution is
+        its capacity split evenly with the jobs already in flight (an
+        estimate — the simulator's water-filling allocation is weighted
+        and rate-capped, but equal split is monotone in queue depth,
+        which is all route selection needs), the whole route is capped
+        at :meth:`path_rate_cap`, and each DMA-programming step adds a
+        setup latency.  Deterministic: depends only on simulator state
+        at the call instant.  A local path costs exactly zero.
+        """
+        if path.is_local:
+            return 0.0
+        rate = self.path_rate_cap(path)
+        for link in path.links:
+            bw = link.bandwidth
+            rate = min(rate, bw.capacity / (1 + bw.active_jobs))
+        for dram in path.drams:
+            bw = dram.bandwidth
+            rate = min(rate, bw.capacity / (1 + bw.active_jobs))
+        return path.setups * self.spec.dma_setup_seconds + (
+            nbytes * scale / rate
+        )
+
     # -- admission control ---------------------------------------------------
 
     def admission_demand(
@@ -296,7 +345,9 @@ class CostModel:
         cpu_workers: int = 0,
         gpu_units: int = 0,
         gpu_streaming: bool = False,
+        cross_socket_bytes: float = 0.0,
         staging_bytes_per_worker: float = 0.0,
+        gpu_staging_bytes_per_unit: Optional[float] = None,
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
     ) -> QueryDemand:
@@ -306,9 +357,18 @@ class CostModel:
         ``*_state_bytes`` are the hash tables it builds per device domain
         (the CPU domain builds one shared table, each GPU builds a private
         copy); ``gpu_streaming`` means GPU consumers read host-resident
-        data, so the streamed working set crosses PCIe.  Materialising
-        engines (``materialize_factor`` > 1) hold proportionally more
-        intermediate state in DRAM.
+        data, so the streamed working set crosses PCIe;
+        ``cross_socket_bytes`` is the share of that stream resident on
+        sockets holding none of the target devices, which must also
+        cross the inter-socket interconnect (the placer's
+        ``transfer_profile`` computes it from the topology paths).
+        ``staging_bytes_per_worker`` charges each CPU worker's inline
+        staging slack; ``gpu_staging_bytes_per_unit`` (defaulting to the
+        same figure) charges each GPU's prefetch pipeline, which deepens
+        with the query's configured ``prefetch_depth`` — CPU workers
+        never prefetch, so their charge is depth-independent.
+        Materialising engines (``materialize_factor`` > 1) hold
+        proportionally more intermediate state in DRAM.
         """
         t = self.tuning
         dram = (
@@ -317,14 +377,22 @@ class CostModel:
         )
         hbm = 0.0
         pcie = 0.0
+        qpi = 0.0
         if gpu_units:
-            hbm = gpu_units * (gpu_state_bytes + staging_bytes_per_worker)
+            gpu_staging = (
+                staging_bytes_per_worker
+                if gpu_staging_bytes_per_unit is None
+                else gpu_staging_bytes_per_unit
+            )
+            hbm = gpu_units * (gpu_state_bytes + gpu_staging)
             if gpu_streaming:
                 pcie = streamed_bytes
+                qpi = cross_socket_bytes
         return QueryDemand(
             dram_bytes=dram,
             hbm_bytes=hbm,
             pcie_bytes=pcie,
+            qpi_bytes=qpi,
             cpu_cores=int(cpu_workers),
             gpu_units=int(gpu_units),
             priority=priority,

@@ -55,6 +55,17 @@ class ServerSpec:
     #: Single pinned-memory DMA stream can saturate the link.
     pcie_stream_cap: float = 12 * GB
 
+    # Inter-socket interconnect -----------------------------------------
+    #: Aggregate QPI bandwidth between the two sockets (2 x 9.6 GT/s
+    #: links on the E5-2650L v3); shared by every cross-socket DMA.
+    qpi_bandwidth: float = 19.2 * GB
+    #: Effective rate of a single DMA stream issuing *remote-socket*
+    #: reads (per-TLP QPI round trips keep one engine below the local
+    #: pinned rate); a NUMA-hop bounce through the destination socket's
+    #: staging arena avoids this cap at the price of an extra DRAM touch
+    #: and a second DMA programming step.
+    qpi_peer_dma_cap: float = 11 * GB
+
     # Caches ---------------------------------------------------------------
     #: last-level cache per socket (E5-2650L v3: 30 MB); hash tables that
     #: fit stay on-chip and their probes cost no DRAM traffic

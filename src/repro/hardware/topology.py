@@ -6,8 +6,9 @@ processor-sharing :class:`~repro.hardware.resources.BandwidthResource`,
 every core and GPU an exclusive :class:`~repro.hardware.resources.FifoResource`,
 and every GPU a PCIe link resource.  The executor pins pipeline instances to
 :class:`Core`/:class:`Gpu` objects (the paper's affinity control, Section
-4.2), and the data-flow operators consult :meth:`Server.link_between` to
-route DMA traffic.
+4.2), and the data-flow operators consult :meth:`Server.paths_between` to
+route DMA traffic over the multi-path interconnect (PCIe links, the
+inter-socket :class:`QpiLink`, and host-DRAM bounce buffers).
 
 Memory-node identifiers follow the paper's NUMA framing: ``cpu:<socket>``
 for socket-local DRAM and ``gpu:<gpu>`` for device memory.
@@ -30,6 +31,8 @@ __all__ = [
     "Socket",
     "Gpu",
     "PcieLink",
+    "QpiLink",
+    "Path",
     "Server",
     "build_server",
 ]
@@ -112,6 +115,75 @@ class PcieLink:
     gpu_id: int
     socket_id: int
     bandwidth: BandwidthResource
+
+    @property
+    def name(self) -> str:
+        return f"pcie:{self.gpu_id}"
+
+    @property
+    def queue_depth(self) -> int:
+        """DMA streams currently in flight on this link."""
+        return self.bandwidth.active_jobs
+
+
+@dataclass
+class QpiLink:
+    """The inter-socket interconnect (QPI/UPI) between two sockets.
+
+    Every cross-socket transfer physically traverses this wire; what a
+    route chooses is the *mechanism* (a single remote-read DMA stream,
+    capped at :attr:`~repro.hardware.specs.ServerSpec.qpi_peer_dma_cap`,
+    versus a NUMA-hop bounce through the destination socket's staging
+    arena at the full pinned rate)."""
+
+    socket_a: int
+    socket_b: int
+    bandwidth: BandwidthResource
+
+    @property
+    def name(self) -> str:
+        return f"qpi:{self.socket_a}-{self.socket_b}"
+
+    @property
+    def queue_depth(self) -> int:
+        """DMA streams currently in flight on this link."""
+        return self.bandwidth.active_jobs
+
+
+@dataclass
+class Path:
+    """One candidate route for a DMA between two memory nodes.
+
+    A path is executed cut-through: the transfer occupies every ``links``
+    entry and every host DRAM node in ``drams`` concurrently (a staged
+    NUMA-hop relays block chunks through a bounce buffer, pipelining the
+    two legs), and pays ``setups`` DMA-programming latencies up front.
+    ``peer_dma`` marks routes whose single DMA engine issues
+    remote-socket reads and is therefore capped below the local pinned
+    rate.  :meth:`CostModel.transfer_demand
+    <repro.hardware.costmodel.CostModel.transfer_demand>` prices a path
+    against the live queue depths of these resources.
+    """
+
+    key: str
+    src: str
+    dst: str
+    links: tuple = ()
+    drams: tuple = ()
+    setups: int = 1
+    peer_dma: bool = False
+
+    @property
+    def is_local(self) -> bool:
+        return not self.links and not self.drams
+
+    @property
+    def queue_depth(self) -> int:
+        """Deepest per-link DMA queue along the route."""
+        return max((link.queue_depth for link in self.links), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Path {self.key} {self.src}->{self.dst}>"
 
 
 @dataclass
@@ -203,6 +275,20 @@ class Server:
                 socket.gpu_ids.append(gpu_id)
                 gpu_id += 1
 
+        #: memoized route enumerations (the topology is immutable after
+        #: construction, and paths_between sits on per-block hot paths)
+        self._paths: dict[tuple[str, str], list[Path]] = {}
+        #: inter-socket links, keyed by the ordered socket pair
+        self.qpi_links: dict[tuple[int, int], QpiLink] = {}
+        for a in range(spec.num_sockets):
+            for b in range(a + 1, spec.num_sockets):
+                self.qpi_links[(a, b)] = QpiLink(
+                    socket_a=a, socket_b=b,
+                    bandwidth=BandwidthResource(
+                        sim, spec.qpi_bandwidth, name=f"qpi:{a}-{b}"
+                    ),
+                )
+
     # -- constructors ----------------------------------------------------
 
     @classmethod
@@ -228,39 +314,89 @@ class Server:
     def dram_node(self, socket_id: int) -> MemoryNode:
         return self.memory_nodes[f"cpu:{socket_id}"]
 
-    def links_on_path(self, src_node: str, dst_node: str) -> list[PcieLink]:
-        """PCIe links a transfer from ``src_node`` to ``dst_node`` crosses.
+    def qpi_between(self, socket_a: int, socket_b: int) -> Optional[QpiLink]:
+        """The inter-socket link between two sockets (None when same)."""
+        if socket_a == socket_b:
+            return None
+        pair = (min(socket_a, socket_b), max(socket_a, socket_b))
+        return self.qpi_links[pair]
 
-        Same-node transfers cross nothing; CPU<->GPU crosses that GPU's
-        link; GPU<->GPU crosses both links (the paper's server has no
-        NVLink; peer transfers are staged through the host).
+    def paths_between(self, src_node: str, dst_node: str) -> list[Path]:
+        """Every candidate DMA route from ``src_node`` to ``dst_node``.
+
+        The first entry is the *direct* route (the legacy single-engine
+        path); alternatives follow in a fixed order so that cost-based
+        selection with a strict ``<`` comparison falls back
+        deterministically.  Same-node pairs get the single zero-cost
+        local path.  Enumerations are memoized — the topology never
+        changes after construction, and this sits on the per-block
+        routing hot path.
         """
+        cached = self._paths.get((src_node, dst_node))
+        if cached is None:
+            cached = self._enumerate_paths(src_node, dst_node)
+            self._paths[(src_node, dst_node)] = cached
+        return cached
+
+    def _enumerate_paths(self, src_node: str, dst_node: str) -> list[Path]:
         if src_node == dst_node:
-            return []
-        links = []
-        for node_id in (src_node, dst_node):
-            gpu = self.gpu_for_node(node_id)
-            if gpu is not None:
-                links.append(gpu.link)
-        return links
+            return [Path(key="local", src=src_node, dst=dst_node, setups=0)]
+        src = self.memory_nodes[src_node]
+        dst = self.memory_nodes[dst_node]
+        src_socket = self.socket_of(src_node)
+        dst_socket = self.socket_of(dst_node)
+        qpi = self.qpi_between(src_socket, dst_socket)
+        src_gpu = self.gpu_for_node(src_node)
+        dst_gpu = self.gpu_for_node(dst_node)
 
-    def dram_on_path(self, src_node: str, dst_node: str) -> list[MemoryNode]:
-        """Host DRAM nodes a transfer reads from / writes to.
+        if src.kind is DeviceType.CPU and dst.kind is DeviceType.CPU:
+            # One mechanism: a DMA engine streaming over QPI, reading the
+            # source socket's DRAM and writing the destination's.
+            assert qpi is not None
+            return [Path(key="qpi", src=src_node, dst=dst_node,
+                         links=(qpi,), drams=(src, dst))]
 
-        Transfers consume host memory bandwidth too — this is the
-        compute/transfer interference the paper reports past 16 cores.
-        """
-        nodes = []
-        for node_id in (src_node, dst_node):
-            node = self.memory_nodes[node_id]
-            if node.kind is DeviceType.CPU:
-                nodes.append(node)
-        if not nodes:
-            # GPU-to-GPU staging bounces through the source GPU's socket.
-            src_gpu = self.gpu_for_node(src_node)
-            assert src_gpu is not None
-            nodes.append(self.dram_node(src_gpu.socket_id))
-        return nodes
+        if src.kind is DeviceType.CPU or dst.kind is DeviceType.CPU:
+            # CPU <-> GPU.  host is the DRAM end, gpu the device end.
+            host = src if src.kind is DeviceType.CPU else dst
+            gpu = dst_gpu if dst_gpu is not None else src_gpu
+            assert gpu is not None
+            if qpi is None:
+                return [Path(key="pcie", src=src_node, dst=dst_node,
+                             links=(gpu.link,), drams=(host,))]
+            # Cross-socket: direct remote-read DMA (one engine, one
+            # setup, capped at the peer rate) versus the NUMA hop (bounce
+            # through the GPU-side socket's staging arena: full pinned
+            # rate, but a second DRAM touch and a second setup).
+            bounce = self.dram_node(gpu.socket_id)
+            return [
+                Path(key="qpi-direct", src=src_node, dst=dst_node,
+                     links=(qpi, gpu.link), drams=(host,), peer_dma=True),
+                Path(key=f"numa-hop:{bounce.node_id}", src=src_node,
+                     dst=dst_node, links=(qpi, gpu.link),
+                     drams=(host, bounce), setups=2),
+            ]
+
+        # GPU <-> GPU: no NVLink on the paper's server, so peer traffic
+        # bounces through a host socket — the route choice is WHICH one.
+        assert src_gpu is not None and dst_gpu is not None
+        links: tuple = (src_gpu.link, dst_gpu.link)
+        if qpi is None:
+            bounce = self.dram_node(src_gpu.socket_id)
+            return [Path(key=f"host-bounce:{bounce.node_id}", src=src_node,
+                         dst=dst_node, links=links, drams=(bounce,),
+                         setups=2)]
+        links = (src_gpu.link, qpi, dst_gpu.link)
+        via_src = self.dram_node(src_gpu.socket_id)
+        via_dst = self.dram_node(dst_gpu.socket_id)
+        return [
+            Path(key=f"host-bounce:{via_src.node_id}", src=src_node,
+                 dst=dst_node, links=links, drams=(via_src,), setups=2,
+                 peer_dma=True),
+            Path(key=f"host-bounce:{via_dst.node_id}", src=src_node,
+                 dst=dst_node, links=links, drams=(via_dst,), setups=2,
+                 peer_dma=True),
+        ]
 
     def interleaved_dram_nodes(self) -> list[MemoryNode]:
         """DRAM nodes in socket order, for interleaved data placement."""

@@ -1,0 +1,473 @@
+"""Differential + regression suite for transfer/compute overlap.
+
+Covers the mem-move's double-buffered prefetch pipeline (credit-based
+staging backpressure, ``prefetch_depth=1`` = overlap off), topology-routed
+DMA path selection, the router's locality-first instance tie-breaking,
+and the staging-slot accounting on failed/aborted queries:
+
+* results are byte-identical across every prefetch depth x path policy
+  combination (the overlap machinery is pure scheduling);
+* simulated time never regresses when overlap is enabled;
+* staging credits bound the in-flight staging slots per target node;
+* a query that dies (or is torn down) with transfers in flight releases
+  every staging slot and strands no credit waiter — the regression for
+  slots acquired in ``schedule()`` whose consumer never runs its
+  release epilogue;
+* routing is deterministic and locality-stable under equal queue loads,
+  including across repeated seeded concurrent batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.physical import (
+    OpPackSink,
+    OpReduceSink,
+    OpUnpack,
+    RouterPolicy,
+    SegmentSource,
+    Stage,
+)
+from repro.core.mem_move import MemMove
+from repro.core.router import ConsumerGroup, Router
+from repro.engine.config import ExecutionConfig
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.scheduler import EngineServer
+from repro.hardware.costmodel import CostModel
+from repro.hardware.sim import Simulator, Store
+from repro.hardware.specs import PAPER_SERVER
+from repro.hardware.topology import DeviceType, Server
+from repro.memory.block import Block, BlockHandle
+from repro.memory.managers import BlockManagerSet
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+DEPTHS = (1, 2, 4)
+POLICIES = ("direct", "contention")
+
+#: one join-free and one join-heavy SSB query exercise both the pure
+#: streaming path and the broadcast-build + probe path
+QUERIES = ("Q1.1", "Q3.1")
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.01, seed=42)
+
+
+@pytest.fixture(scope="module")
+def reference(tables):
+    return ReferenceExecutor(tables)
+
+
+def _engine(tables, logical_sf=1.0):
+    from repro.engine.proteus import Proteus
+
+    engine = Proteus(segment_rows=2048)
+    load_ssb(engine, tables=tables, logical_sf=logical_sf)
+    return engine
+
+
+class TestDifferential:
+    """Byte-identical results across prefetch depths x path policies."""
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_gpu_only_matches_reference(self, tables, reference, depth, policy):
+        engine = _engine(tables)
+        config = ExecutionConfig.gpu_only(
+            [0, 1], block_tuples=512, prefetch_depth=depth,
+            path_selection=policy,
+        )
+        for qid in QUERIES:
+            result = engine.query(ssb_query(qid), config)
+            assert sorted(result.rows) == sorted(
+                reference.execute(ssb_query(qid))
+            ), f"{qid} depth={depth} policy={policy}"
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_hybrid_matches_reference(self, tables, reference, depth, policy):
+        engine = _engine(tables)
+        config = ExecutionConfig.hybrid(
+            4, [0, 1], block_tuples=512, prefetch_depth=depth,
+            path_selection=policy,
+        )
+        for qid in QUERIES:
+            result = engine.query(ssb_query(qid), config)
+            assert sorted(result.rows) == sorted(
+                reference.execute(ssb_query(qid))
+            ), f"{qid} depth={depth} policy={policy}"
+
+    def test_overlap_never_slower_simulated(self, tables):
+        """At a PCIe-bound logical scale, depth>=2 must not lose to the
+        overlap-off baseline on any query (and must win on at least one)."""
+        times = {}
+        for depth in (1, 2):
+            engine = _engine(tables, logical_sf=1000.0)
+            config = ExecutionConfig.gpu_only(
+                [0, 1], block_tuples=256, prefetch_depth=depth
+            )
+            times[depth] = {
+                qid: engine.query(ssb_query(qid), config).seconds
+                for qid in QUERIES
+            }
+        for qid in QUERIES:
+            assert times[2][qid] <= times[1][qid] * (1 + 1e-9), qid
+        assert any(
+            times[2][qid] < times[1][qid] * 0.97 for qid in QUERIES
+        ), f"overlap bought nothing: {times}"
+
+    def test_staging_conserved_after_each_run(self, tables):
+        engine = _engine(tables)
+        config = ExecutionConfig.gpu_only(
+            [0, 1], block_tuples=512, prefetch_depth=4
+        )
+        engine.query(ssb_query("Q3.1"), config)
+        engine.blocks.release_all_caches()
+        for node_id, manager in engine.blocks.managers.items():
+            assert manager.free_blocks == manager.arena_blocks, node_id
+
+
+def _mem_move_env(prefetch_depth=2, path_selection="contention"):
+    sim = Simulator()
+    server = Server.paper_machine(sim)
+    blocks = BlockManagerSet(server)
+    mem_move = MemMove(
+        sim, server, blocks, CostModel(PAPER_SERVER),
+        prefetch_depth=prefetch_depth, path_selection=path_selection,
+    )
+    return sim, server, blocks, mem_move
+
+
+def _remote_handle(nbytes=8000, node="cpu:0", scale=1.0):
+    values = np.zeros(nbytes // 8, dtype=np.int64)
+    return BlockHandle(Block({"a": values}, node, scale))
+
+
+class TestPrefetchCredits:
+    def test_credits_bound_staged_slots(self):
+        sim, _, _, mem_move = _mem_move_env(prefetch_depth=2)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        assert mem_move.has_credit("gpu:0")
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        assert not mem_move.has_credit("gpu:0")
+        assert mem_move.staged_outstanding("gpu:0") == 2
+        mem_move.release_staged("gpu:0")
+        assert mem_move.has_credit("gpu:0")
+
+    def test_credits_are_per_target_node(self):
+        _, _, _, mem_move = _mem_move_env(prefetch_depth=1)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        assert not mem_move.has_credit("gpu:0")
+        assert mem_move.has_credit("gpu:1")
+
+    def test_prefetch_proc_respects_depth(self):
+        """The pipeline never holds more than prefetch_depth staging
+        slots, even with a slow consumer and a deep input queue."""
+        depth = 2
+        sim, _, _, mem_move = _mem_move_env(prefetch_depth=depth)
+        source = sim.store(name="source")
+        fetched = sim.store(capacity=depth, name="fetched")
+        peaks = []
+
+        def consumer():
+            while True:
+                got = fetched.get()
+                yield got
+                handle = got.value
+                if handle is Store.END:
+                    return
+                peaks.append(mem_move.staged_outstanding("gpu:0"))
+                if handle.transfer_done is not None:
+                    yield handle.transfer_done
+                yield sim.timeout(1e-3)  # slow compute
+                if handle.meta.get("staged"):
+                    mem_move.release_staged("gpu:0")
+
+        sim.process(
+            mem_move.prefetch_proc(source, fetched, "gpu:0",
+                                   lambda handle: True)
+        )
+        sim.process(consumer())
+        for _ in range(8):
+            source.put(_remote_handle())
+        source.close()
+        sim.run()
+        assert mem_move.transfers == 8
+        assert max(peaks) <= depth
+        assert mem_move.staged_outstanding() == 0
+
+    def test_depth_one_serialises_transfers(self):
+        """With a single staging buffer the next DMA cannot launch until
+        the consumer releases the previous block."""
+        sim, server, _, mem_move = _mem_move_env(prefetch_depth=1)
+        source = sim.store(name="source")
+        fetched = sim.store(capacity=1, name="fetched")
+        concurrency = []
+
+        def consumer():
+            while True:
+                got = fetched.get()
+                yield got
+                handle = got.value
+                if handle is Store.END:
+                    return
+                concurrency.append(
+                    server.gpus[0].link.bandwidth.active_jobs
+                )
+                if handle.transfer_done is not None:
+                    yield handle.transfer_done
+                if handle.meta.get("staged"):
+                    mem_move.release_staged("gpu:0")
+
+        sim.process(
+            mem_move.prefetch_proc(source, fetched, "gpu:0",
+                                   lambda handle: True)
+        )
+        sim.process(consumer())
+        for _ in range(5):
+            source.put(_remote_handle(nbytes=80_000))
+        source.close()
+        sim.run()
+        assert max(concurrency) <= 1
+
+
+class TestStagingAbortAccounting:
+    """Satellite regression: slots acquired in schedule() must be
+    released when the consumer dies mid-wait, and parked prefetchers
+    must not be stranded on credit waiters."""
+
+    def test_abort_reclaims_unreleased_slots(self):
+        sim, _, blocks, mem_move = _mem_move_env(prefetch_depth=2)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        mem_move.abort_outstanding()
+        sim.run()
+        blocks.release_all_caches()
+        assert mem_move.staged_outstanding() == 0
+        for node_id, manager in blocks.managers.items():
+            assert manager.free_blocks == manager.arena_blocks, node_id
+
+    def test_release_after_abort_is_noop(self):
+        """The consumer's late epilogue after an abort reclaim must not
+        over-release the shared arena."""
+        sim, _, blocks, mem_move = _mem_move_env(prefetch_depth=2)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        free_before = blocks.managers["gpu:0"].free_blocks
+        mem_move.abort_outstanding()
+        free_after_abort = blocks.managers["gpu:0"].free_blocks
+        assert free_after_abort == free_before + 1
+        mem_move.release_staged("gpu:0")  # the race: consumer survived
+        assert blocks.managers["gpu:0"].free_blocks == free_after_abort
+
+    def test_abort_wakes_parked_credit_waiters(self):
+        sim, _, _, mem_move = _mem_move_env(prefetch_depth=1)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        progressed = []
+
+        def parked_prefetcher():
+            while not mem_move.has_credit("gpu:0"):
+                yield mem_move.await_credit("gpu:0")
+            progressed.append(sim.now)
+
+        proc = sim.process(parked_prefetcher())
+        mem_move.abort_outstanding()
+        sim.run()
+        assert proc.triggered and proc.ok
+        assert progressed, "prefetcher stranded on a credit waiter"
+
+    def test_failed_query_releases_staged_slots_under_prefetch(self, tables):
+        """End to end: a query that dies mid-probe with depth-4 prefetch
+        in flight leaves the shared staging arenas whole, and a
+        co-resident query is unaffected."""
+        from repro.algebra.expressions import col
+        from repro.algebra.logical import agg_sum, scan
+        from repro.storage import Column, DataType, Table
+
+        server = EngineServer(segment_rows=2048, max_concurrent=4)
+        load_ssb(server.engine, tables=tables)
+        server.register(Table("dup_dim", [
+            Column.from_values("dk", DataType.INT64, np.array([1, 1, 2])),
+            Column.from_values("dv", DataType.INT64, np.array([7, 8, 9])),
+        ]))
+        server.register(Table("dup_fact", [
+            Column.from_values("fk", DataType.INT64, np.arange(1, 400) % 3),
+            Column.from_values("fv", DataType.INT64, np.arange(399)),
+        ]))
+        bad_plan = (
+            scan("dup_fact", ["fk", "fv"])
+            .join(scan("dup_dim", ["dk", "dv"]), probe_key="fk",
+                  build_key="dk", payload=["dv"])
+            .reduce([agg_sum(col("fv"), "s")])
+        )
+        config = ExecutionConfig.hybrid(2, [0, 1], block_tuples=256,
+                                        prefetch_depth=4)
+        bad = server.submit(bad_plan, config, name="bad")
+        good = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=512,
+                                     prefetch_depth=4),
+            name="good",
+        )
+        server.run()
+        assert bad.status == "failed"
+        assert good.status == "done"
+        assert all(v == 0 for v in
+                   server.engine.blocks.unaccounted_blocks().values())
+        server.check_conservation()
+
+
+class TestPausedShareAccounting:
+    """The compute/memory split of a paused session must partition every
+    demand dimension exactly once — the regression for the QPI window
+    being double-counted (kept in the memory share AND released with the
+    compute share), which made stall cleanup of a parked cross-socket
+    session over-release the budget."""
+
+    def test_shares_partition_every_dimension(self):
+        from repro.engine.scheduler import _compute_share, _memory_share
+        from repro.hardware.costmodel import QueryDemand
+
+        demand = QueryDemand(dram_bytes=1e9, hbm_bytes=2e9, pcie_bytes=3e9,
+                             qpi_bytes=4e9, cpu_cores=6, gpu_units=2)
+        compute = _compute_share(demand).as_dict()
+        memory = _memory_share(demand).as_dict()
+        for dim, total in demand.as_dict().items():
+            assert compute[dim] + memory[dim] == total, dim
+
+    def test_stream_windows_travel_with_the_compute_share(self):
+        from repro.engine.scheduler import _compute_share, _memory_share
+        from repro.hardware.costmodel import QueryDemand
+
+        demand = QueryDemand(pcie_bytes=3e9, qpi_bytes=4e9)
+        assert _memory_share(demand).pcie_bytes == 0.0
+        assert _memory_share(demand).qpi_bytes == 0.0
+        assert _compute_share(demand).qpi_bytes == 4e9
+
+
+def _gpu_stage(dop=2):
+    return Stage("gpu-consumer", DeviceType.GPU,
+                 ops=[OpUnpack(["a"]), OpReduceSink([])], dop=dop,
+                 affinity=[0, 1][:dop])
+
+
+def _producer():
+    return Stage("producer", DeviceType.CPU, ops=[OpPackSink(["a"])],
+                 source=SegmentSource("t", ["a"]))
+
+
+class TestRouterLocalityTieBreak:
+    """Satellite regression: deterministic, locality-stable instance
+    selection under equal queue loads."""
+
+    def _route(self, nodes):
+        """Route one handle per node through a fresh router whose
+        consumers complete instantly (queue loads stay equal)."""
+        sim = Simulator()
+        server = Server.paper_machine(sim)
+        blocks = BlockManagerSet(server)
+        mem_move = MemMove(sim, server, blocks, CostModel(PAPER_SERVER))
+        group = ConsumerGroup(_gpu_stage(), ["gpu:0", "gpu:1"],
+                              transfer_cost=mem_move.projected_cost)
+        router = Router(sim, _producer(), [group], RouterPolicy.LOAD_BALANCE)
+        landed = {0: [], 1: []}
+
+        def consumer(index):
+            queue = group.instance_queues[index]
+            while True:
+                got = queue.get()
+                yield got
+                if got.value is Store.END:
+                    return
+                landed[index].append(got.value.node_id)
+                group.report_done(index)
+
+        sim.process(router.run())
+        sim.process(consumer(0))
+        sim.process(consumer(1))
+        for node in nodes:
+            router.input.put(
+                BlockHandle(Block({"a": np.zeros(4, dtype=np.int64)}, node))
+            )
+        router.input.close()
+        sim.run()
+        return landed
+
+    def test_equal_load_ties_break_toward_local_socket(self):
+        # all blocks live on socket 1: under equal loads every tie must
+        # go to gpu:1 (same socket), never pile onto the lowest index
+        landed = self._route(["cpu:1"] * 6)
+        assert landed[0] == []
+        assert len(landed[1]) == 6
+
+    def test_interleaved_stream_routes_each_socket_locally(self):
+        landed = self._route(["cpu:0", "cpu:1"] * 5)
+        assert all(node == "cpu:0" for node in landed[0])
+        assert all(node == "cpu:1" for node in landed[1])
+
+    def test_routing_is_deterministic_across_runs(self):
+        nodes = ["cpu:1", "cpu:1", "cpu:0", "cpu:1", "cpu:0", "cpu:0"]
+        first = self._route(nodes)
+        second = self._route(nodes)
+        assert first == second
+
+    def test_seeded_concurrent_batches_are_deterministic(self, tables):
+        """Two identical seeded concurrent drives produce identical
+        routing outcomes — same per-session latencies and results."""
+
+        def drive():
+            server = EngineServer(segment_rows=2048, max_concurrent=4)
+            load_ssb(server.engine, tables=tables)
+            config = ExecutionConfig.gpu_only([0, 1], block_tuples=512)
+            for index, qid in enumerate(("Q1.1", "Q2.1", "Q3.1", "Q4.1")):
+                server.submit(ssb_query(qid), config, name=f"{qid}#{index}")
+            server.spawn_open_loop(
+                [ssb_query("Q1.2")], config, rate_qps=200.0, arrivals=3,
+                seed=7, name="open",
+            )
+            report = server.run()
+            server.check_conservation()
+            return report
+
+        a, b = drive(), drive()
+        assert a.makespan == b.makespan
+        assert len(a.sessions) == len(b.sessions)
+        for sa, sb in zip(a.sessions, b.sessions):
+            assert sa.latency == sb.latency
+            assert sa.result.rows == sb.result.rows
+
+
+class TestPathPolicyDynamics:
+    def test_contention_shifts_route_off_loaded_bounce_socket(self):
+        """A contended bounce-socket DRAM flips the NUMA-hop choice to
+        the direct peer-DMA route, deterministically."""
+        sim, server, _, mem_move = _mem_move_env()
+        handle = _remote_handle(nbytes=8_000_000, node="cpu:1")
+        idle_path = mem_move.select_path("cpu:1", "gpu:0", 8_000_000)
+        assert idle_path.key.startswith("numa-hop")
+        # ~flood the bounce socket's DRAM with background jobs
+        for _ in range(8):
+            server.memory_nodes["cpu:0"].bandwidth.submit(
+                1e9, rate_cap=5.6e9, label="background"
+            )
+        loaded_path = mem_move.select_path("cpu:1", "gpu:0", 8_000_000)
+        assert loaded_path.key == "qpi-direct"
+        # the projected-cost hook the router uses agrees with selection
+        assert mem_move.projected_cost(handle, "gpu:0") > 0.0
+
+    def test_direct_policy_ignores_contention(self):
+        sim, server, _, mem_move = _mem_move_env(path_selection="direct")
+        for _ in range(8):
+            server.memory_nodes["cpu:1"].bandwidth.submit(
+                1e9, rate_cap=5.6e9, label="background"
+            )
+        path = mem_move.select_path("cpu:1", "gpu:0", 8_000_000)
+        assert path.key == "qpi-direct"  # first enumerated, always
+
+    def test_path_counts_recorded_per_route(self):
+        sim, _, _, mem_move = _mem_move_env()
+        mem_move.schedule(_remote_handle(node="cpu:0"), "gpu:0")
+        mem_move.schedule(_remote_handle(node="cpu:1"), "gpu:1")
+        assert sum(mem_move.path_counts.values()) == 2
+        assert "pcie" in mem_move.path_counts  # the same-socket route
+        sim.run()

@@ -53,21 +53,6 @@ class TestTopology:
         assert server.socket_of("cpu:1") == 1
         assert server.socket_of("gpu:0") == 0
 
-    def test_links_on_path(self):
-        server = self._server()
-        assert server.links_on_path("cpu:0", "cpu:1") == []
-        assert [link.gpu_id
-                for link in server.links_on_path("cpu:0", "gpu:0")] == [0]
-        assert sorted(link.gpu_id for link in
-                      server.links_on_path("gpu:0", "gpu:1")) == [0, 1]
-        assert server.links_on_path("gpu:0", "gpu:0") == []
-
-    def test_dram_on_path(self):
-        server = self._server()
-        assert [n.node_id for n in server.dram_on_path("cpu:0", "gpu:1")] == ["cpu:0"]
-        # GPU peer transfers stage through the source GPU's host socket
-        assert [n.node_id for n in server.dram_on_path("gpu:1", "gpu:0")] == ["cpu:1"]
-
     def test_memory_node_capacity(self):
         server = self._server()
         node = server.memory_nodes["gpu:0"]
@@ -84,6 +69,133 @@ class TestTopology:
         assert len(server.cores) == 16
         assert len(server.gpus) == 4
         assert server.sockets[0].gpu_ids == [0, 1]
+
+
+class TestPaths:
+    """Multi-path interconnect enumeration (NUMA hop vs. direct PCIe)."""
+
+    def _server(self):
+        return Server.paper_machine(Simulator())
+
+    def test_local_path_is_free(self):
+        server = self._server()
+        paths = server.paths_between("cpu:0", "cpu:0")
+        assert len(paths) == 1
+        assert paths[0].is_local
+        model = CostModel(PAPER_SERVER)
+        assert model.transfer_demand(1e9, paths[0]) == 0.0
+
+    def test_same_socket_cpu_to_gpu_single_direct_path(self):
+        server = self._server()
+        paths = server.paths_between("cpu:0", "gpu:0")
+        assert [p.key for p in paths] == ["pcie"]
+        path = paths[0]
+        assert [link.name for link in path.links] == ["pcie:0"]
+        assert [d.node_id for d in path.drams] == ["cpu:0"]
+        assert path.setups == 1 and not path.peer_dma
+
+    def test_cross_socket_cpu_to_gpu_enumerates_both_routes(self):
+        server = self._server()
+        paths = server.paths_between("cpu:1", "gpu:0")
+        assert [p.key for p in paths] == ["qpi-direct", "numa-hop:cpu:0"]
+        direct, hop = paths
+        assert direct.peer_dma and direct.setups == 1
+        assert {link.name for link in direct.links} == {"qpi:0-1", "pcie:0"}
+        assert [d.node_id for d in direct.drams] == ["cpu:1"]
+        # the NUMA hop bounces through the GPU-side socket's arena:
+        # full pinned rate, second DRAM touch, second DMA setup
+        assert not hop.peer_dma and hop.setups == 2
+        assert [d.node_id for d in hop.drams] == ["cpu:1", "cpu:0"]
+
+    def test_gpu_to_gpu_routes_choose_the_bounce_socket(self):
+        server = self._server()
+        paths = server.paths_between("gpu:0", "gpu:1")
+        assert [p.key for p in paths] == [
+            "host-bounce:cpu:0", "host-bounce:cpu:1",
+        ]
+        for path in paths:
+            assert path.setups == 2 and path.peer_dma
+            assert {link.name for link in path.links} == {
+                "pcie:0", "qpi:0-1", "pcie:1",
+            }
+
+    def test_cpu_to_cpu_crosses_qpi(self):
+        server = self._server()
+        paths = server.paths_between("cpu:0", "cpu:1")
+        assert [p.key for p in paths] == ["qpi"]
+        assert [link.name for link in paths[0].links] == ["qpi:0-1"]
+        assert [d.node_id for d in paths[0].drams] == ["cpu:0", "cpu:1"]
+
+    def test_queue_depth_reflects_in_flight_dma(self):
+        server = self._server()
+        path = server.paths_between("cpu:0", "gpu:0")[0]
+        assert path.queue_depth == 0
+        server.gpus[0].link.bandwidth.submit(1e9, rate_cap=12e9, label="bg")
+        assert path.queue_depth == 1
+
+
+class TestTransferDemand:
+    """Path pricing: contention-dependent, deterministic, calibrated."""
+
+    def _env(self):
+        server = Server.paper_machine(Simulator())
+        return server, CostModel(PAPER_SERVER)
+
+    def test_idle_direct_path_prices_setup_plus_wire_time(self):
+        server, model = self._env()
+        path = server.paths_between("cpu:0", "gpu:0")[0]
+        expected = PAPER_SERVER.dma_setup_seconds + 1e9 / 12e9
+        assert model.transfer_demand(1e9, path) == pytest.approx(expected)
+
+    def test_remote_read_path_pays_the_peer_dma_cap(self):
+        server, model = self._env()
+        direct, hop = server.paths_between("cpu:1", "gpu:0")
+        d = model.transfer_demand(1e9, direct)
+        h = model.transfer_demand(1e9, hop)
+        assert d == pytest.approx(
+            PAPER_SERVER.dma_setup_seconds + 1e9 / PAPER_SERVER.qpi_peer_dma_cap
+        )
+        assert h == pytest.approx(
+            2 * PAPER_SERVER.dma_setup_seconds + 1e9 / 12e9
+        )
+        # big idle transfer: the NUMA hop's full pinned rate wins
+        assert h < d
+
+    def test_tiny_transfers_prefer_the_single_setup_route(self):
+        server, model = self._env()
+        direct, hop = server.paths_between("cpu:1", "gpu:0")
+        nbytes = 10_000  # wire time ~1 us << the extra 5 us setup
+        assert model.transfer_demand(nbytes, direct) < \
+            model.transfer_demand(nbytes, hop)
+
+    def test_contention_raises_the_loaded_route_price(self):
+        server, model = self._env()
+        _, hop = server.paths_between("cpu:1", "gpu:0")
+        idle = model.transfer_demand(1e9, hop)
+        for _ in range(8):
+            server.memory_nodes["cpu:0"].bandwidth.submit(
+                1e9, rate_cap=5.6e9, label="bg"
+            )
+        assert model.transfer_demand(1e9, hop) > idle
+
+    def test_scale_inflates_the_estimate(self):
+        server, model = self._env()
+        path = server.paths_between("cpu:0", "gpu:0")[0]
+        unit = model.transfer_demand(1e6, path, scale=1.0)
+        scaled = model.transfer_demand(1e6, path, scale=1000.0)
+        assert scaled > 500 * unit
+
+    def test_estimate_is_deterministic(self):
+        server, model = self._env()
+        path = server.paths_between("cpu:1", "gpu:0")[0]
+        assert model.transfer_demand(1e8, path) == \
+            model.transfer_demand(1e8, path)
+
+    def test_pageable_engines_capped_on_every_path(self):
+        server, _ = self._env()
+        dbms_g = CostModel(PAPER_SERVER, DBMS_G_TUNING)
+        path = server.paths_between("cpu:0", "gpu:0")[0]
+        assert dbms_g.path_rate_cap(path) == pytest.approx(5e9)
 
 
 class TestCostModel:
