@@ -33,18 +33,21 @@ Packages:
 from .algebra.expressions import col, lit
 from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, scan
 from .engine.config import CachePolicy, ElasticPolicy, ExecutionConfig, QoS
+from .engine.faults import FaultPlan, RetryPolicy
 from .engine.proteus import Proteus
 from .engine.results import QueryResult
 from .engine.scheduler import EngineServer, ResourceBudget
 from .hardware.specs import PAPER_SERVER, ServerSpec
 from .jit.cache import SharedCacheDirectory
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Proteus",
     "EngineServer",
     "ResourceBudget",
+    "FaultPlan",
+    "RetryPolicy",
     "CachePolicy",
     "SharedCacheDirectory",
     "ElasticPolicy",

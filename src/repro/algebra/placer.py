@@ -26,7 +26,7 @@ Figures 7 and 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
     from ..engine.config import ExecutionConfig
@@ -127,7 +127,31 @@ class HeterogeneousPlacer:
 
     # -- public API -----------------------------------------------------------
 
-    def place(self, plan: Plan, config: "ExecutionConfig") -> HetPlan:
+    def place(
+        self, plan: Plan, config: "ExecutionConfig",
+        exclude_devices: Iterable[int] = (),
+    ) -> HetPlan:
+        """Place ``plan`` under ``config``, minus any excluded GPUs.
+
+        ``exclude_devices`` removes GPU ids from the configuration
+        before placement — the scheduler's retry path passes the set of
+        dead devices so a re-admitted query can never be placed on one.
+        Raises :class:`PlacementError` when the exclusion leaves no
+        compute units at all.
+        """
+        excluded = frozenset(exclude_devices)
+        if excluded:
+            surviving = tuple(
+                gpu for gpu in config.gpu_ids if gpu not in excluded
+            )
+            if surviving != config.gpu_ids:
+                if not surviving and config.cpu_workers == 0:
+                    raise PlacementError(
+                        f"every GPU of {config.gpu_ids} is excluded "
+                        f"({sorted(excluded)}) and the configuration has "
+                        f"no CPU workers to fall back to"
+                    )
+                config = config.derive(gpu_ids=surviving)
         decomposition = self._decompose(plan)
         if config.bare:
             het = self._place_bare(decomposition, config)

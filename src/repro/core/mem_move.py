@@ -56,11 +56,21 @@ from ..memory.managers import BlockManagerSet
 
 __all__ = [
     "MemMove",
+    "TransferTimeout",
     "DMA_WEIGHT",
     "PATH_POLICIES",
     "DEFAULT_PREFETCH_DEPTH",
     "path_transfer_jobs",
 ]
+
+
+class TransferTimeout(RuntimeError):
+    """A DMA exceeded the configured transfer deadline.
+
+    Only raised when a ``dma_timeout`` is armed (the chaos tier's
+    straggler detection); the scheduler's failure classifier treats it
+    as retryable, like :class:`~repro.hardware.topology.DeviceLostError`.
+    """
 
 #: memory-controller arbitration weight of DMA streams relative to core
 #: load/store traffic (transfers keep most of their bandwidth when many
@@ -110,6 +120,8 @@ class MemMove:
         cost: CostModel,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
         path_selection: str = "contention",
+        straggler: Optional[Callable[[], float]] = None,
+        dma_timeout: Optional[float] = None,
     ):
         if prefetch_depth < 1:
             raise ValueError("prefetch_depth must be >= 1")
@@ -118,12 +130,21 @@ class MemMove:
                 f"unknown path_selection {path_selection!r}; expected one "
                 f"of {PATH_POLICIES}"
             )
+        if dma_timeout is not None and dma_timeout <= 0:
+            raise ValueError("dma_timeout must be positive (or None)")
         self.sim = sim
         self.server = server
         self.blocks = blocks
         self.cost = cost
         self.prefetch_depth = prefetch_depth
         self.path_selection = path_selection
+        #: chaos hook sampled once per launched DMA: a latency
+        #: multiplier >= 1 (1.0 = no straggling; the fault injector's
+        #: seeded RNG keeps the sampling deterministic under DES order)
+        self.straggler = straggler
+        #: typed TransferTimeout when one DMA's end-to-end latency
+        #: (including straggling) exceeds this many simulated seconds
+        self.dma_timeout = dma_timeout
         self.transfers = 0
         self.bytes_moved = 0.0
         self.forwards = 0
@@ -302,8 +323,13 @@ class MemMove:
         other query on the server.  Credit waiters are flushed too, so a
         sibling prefetcher parked on :meth:`await_credit` cannot be
         stranded holding its queue slot.  Idempotent.
+
+        Both loops iterate over snapshots: a release can wake a credit
+        waiter whose prefetcher re-enters :meth:`schedule` and grows
+        ``_staged_outstanding`` with a new target node, and mutating a
+        dict mid-iteration raises.
         """
-        for node_id, count in self._staged_outstanding.items():
+        for node_id, count in list(self._staged_outstanding.items()):
             if count > 0:
                 self.blocks.release(node_id, count)
                 self._staged_outstanding[node_id] = 0
@@ -314,18 +340,42 @@ class MemMove:
 
     def _dma(self, block: Block, path: Path, acquire_latency: float,
              done: Event):
-        plan = self.cost.transfer_plan(block.nbytes, scale=block.logical_scale)
-        # path_rate_cap is the single source of the stream cap (pinned /
-        # pageable / peer-DMA): it subsumes plan.link_rate_cap
-        rate_cap = self.cost.path_rate_cap(path)
-        yield self.sim.timeout(
-            plan.setup_seconds * path.setups + acquire_latency
-        )
-        jobs = path_transfer_jobs(
-            path, plan.nbytes, rate_cap, label=f"dma:{block.block_id}"
-        )
-        if jobs:
-            yield self.sim.all_of(jobs)
+        start = self.sim.now
+        try:
+            plan = self.cost.transfer_plan(
+                block.nbytes, scale=block.logical_scale
+            )
+            # path_rate_cap is the single source of the stream cap (pinned /
+            # pageable / peer-DMA): it subsumes plan.link_rate_cap
+            rate_cap = self.cost.path_rate_cap(path)
+            yield self.sim.timeout(
+                plan.setup_seconds * path.setups + acquire_latency
+            )
+            jobs = path_transfer_jobs(
+                path, plan.nbytes, rate_cap, label=f"dma:{block.block_id}"
+            )
+            if jobs:
+                yield self.sim.all_of(jobs)
+            if self.straggler is not None:
+                factor = self.straggler()
+                if factor > 1.0:
+                    yield self.sim.timeout(
+                        (self.sim.now - start) * (factor - 1.0)
+                    )
+            elapsed = self.sim.now - start
+            if self.dma_timeout is not None and elapsed > self.dma_timeout:
+                done.fail(TransferTimeout(
+                    f"transfer of block {block.block_id} to {path.dst} took "
+                    f"{elapsed:.6f}s (deadline {self.dma_timeout:g}s)"
+                ))
+                return
+        except Exception as error:
+            # A link poisoned mid-flight (device loss) fails the transfer
+            # jobs; surface the typed error to the consumer parked on
+            # ``transfer_done`` instead of stranding it forever.
+            if not done.triggered:
+                done.fail(error)
+            return
         # The staging slot acquired for this transfer is released by the
         # consumer once it has processed the block (release_staged in the
         # worker's epilogue), not when the wire goes quiet.

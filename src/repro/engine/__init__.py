@@ -31,6 +31,17 @@ NumPy interpreter used as the differential-testing oracle.
 
 from .config import CachePolicy, ElasticPolicy, ExecutionConfig, QoS
 from .executor import Executor, QueryError, RawExecution
+from .faults import (
+    DeviceLossFault,
+    DeviceLostError,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SpuriousAbortFault,
+    StragglerFault,
+    TransferTimeout,
+    classify_failure,
+)
 from .proteus import Proteus
 from .results import ExecutionProfile, QueryResult
 from .scheduler import (
@@ -59,4 +70,13 @@ __all__ = [
     "BatchReport",
     "AdmissionError",
     "SchedulerError",
+    "DeviceLossFault",
+    "DeviceLostError",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "SpuriousAbortFault",
+    "StragglerFault",
+    "TransferTimeout",
+    "classify_failure",
 ]

@@ -84,7 +84,22 @@ PREFETCH_DEPTH = DEFAULT_PREFETCH_DEPTH
 
 
 class QueryError(RuntimeError):
-    """Query execution failed (propagates device OOM and similar)."""
+    """Query execution failed (propagates device OOM and similar).
+
+    ``process`` names the failed DES process when one could be
+    attributed, ``phase`` the phase (or ``+``-joined wave of phases)
+    that was executing — report summaries surface both so chaos-tier
+    failures are attributable without spelunking tracebacks.  The root
+    cause travels on ``__cause__`` (always raised ``from`` the
+    underlying error), which is what the scheduler's failure classifier
+    walks.
+    """
+
+    def __init__(self, message: str, *, process: Optional[str] = None,
+                 phase: Optional[str] = None):
+        super().__init__(message)
+        self.process = process
+        self.phase = phase
 
 
 @dataclass
@@ -205,6 +220,10 @@ class Executor:
             node_id: MemoryManager(node)
             for node_id, node in server.memory_nodes.items()
         }
+        #: chaos-tier hook installed by the engine server: a
+        #: FaultInjector whose straggler_factor/transfer_timeout are
+        #: threaded into every query's mem-move (None = faults off)
+        self.fault_injector: Optional[Any] = None
         #: query id -> in-flight phase runs; diagnostics only (stall reports)
         self._active: dict[str, list["_PhaseRun"]] = {}
         #: query id -> phase boundaries still ahead of the running query;
@@ -386,9 +405,18 @@ class Executor:
                         (p for p in processes if p.triggered and not p.ok),
                         None,
                     )
-                    name = failed.name if failed is not None else "?"
+                    # No failed process means the error was delivered to
+                    # the wave wait itself (e.g. the driver interrupted);
+                    # attribute it to the executing phase(s), never "?".
+                    phase_names = "+".join(run.phase.name for run in runs)
+                    name = (
+                        f"process {failed.name}" if failed is not None
+                        else f"phase {phase_names!r}"
+                    )
                     raise QueryError(
-                        f"process {name} failed: {error!r}"
+                        f"{name} failed: {error!r}",
+                        process=failed.name if failed is not None else None,
+                        phase=phase_names,
                     ) from error
                 for run in runs:
                     self._finalize_phase(run, query_state, out, state_handles)
@@ -632,10 +660,17 @@ class Executor:
                 query_id=query_id,
             )
 
+        faults = self.fault_injector
         mem_move = MemMove(
             self.sim, self.server, self.blocks, self.cost,
             prefetch_depth=config.prefetch_depth,
             path_selection=config.path_selection,
+            straggler=(
+                faults.straggler_factor if faults is not None else None
+            ),
+            dma_timeout=(
+                faults.transfer_timeout if faults is not None else None
+            ),
         )
         # Locality-first instance selection: routers price a candidate
         # consumer by the mem-move's projected (path-routed) transfer
@@ -762,7 +797,8 @@ class Executor:
                 )
             if not proc.ok:
                 raise proc.value if isinstance(proc.value, QueryError) else QueryError(
-                    f"process {proc.name} failed: {proc.value!r}"
+                    f"process {proc.name} failed: {proc.value!r}",
+                    process=proc.name, phase=phase.name,
                 ) from proc.value
 
         self._account_hash_tables(run.created_tables, query_state, state_handles)

@@ -98,6 +98,7 @@ from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
 from .config import ElasticPolicy, ExecutionConfig, QoS
+from .faults import FaultInjector, FaultPlan, RetryPolicy, classify_failure
 from .proteus import Proteus
 from .results import QueryResult
 
@@ -108,6 +109,8 @@ __all__ = [
     "BatchReport",
     "AdmissionError",
     "SchedulerError",
+    "FaultPlan",
+    "RetryPolicy",
     "DEFAULT_COMPILE_SECONDS",
 ]
 
@@ -445,6 +448,16 @@ class QuerySession:
     resume_event: Optional[Event] = None
     #: triggered when the session reaches a terminal state
     done: Optional[Event] = None
+    #: execution attempts so far (1 = first attempt, no retry yet)
+    attempts: int = 1
+    #: typed failure class of each attempt that was retried, in order
+    retried_classes: list[str] = field(default_factory=list)
+    #: a retry dropped this session to a device-reduced placement
+    fell_back: bool = False
+    #: typed classification of the terminal failure (None unless failed)
+    error_class: Optional[str] = None
+    #: triggered by _activate when a retrying session is re-admitted
+    readmit_event: Optional[Event] = None
 
     @property
     def tag(self) -> str:
@@ -463,6 +476,43 @@ class QuerySession:
     @property
     def finished(self) -> bool:
         return self.status in ("done", "failed", "shed")
+
+    @property
+    def retries(self) -> int:
+        """Completed retry round-trips (attempts after the first)."""
+        return len(self.retried_classes)
+
+    def failure_detail(self) -> str:
+        """Where and why the session failed, from the exception chain.
+
+        Surfaces the failed process (or executing phase) recorded on a
+        chained :class:`~repro.engine.executor.QueryError` plus the root
+        cause — ``session.error`` keeps the full chained exception; this
+        is the one-line rendering report summaries use.
+        """
+        error = self.error
+        if error is None:
+            return ""
+        process: Optional[str] = None
+        phase: Optional[str] = None
+        root: BaseException = error
+        seen: set[int] = set()
+        exc: Optional[BaseException] = error
+        while exc is not None and id(exc) not in seen:
+            seen.add(id(exc))
+            if process is None:
+                process = getattr(exc, "process", None)
+            if phase is None:
+                phase = getattr(exc, "phase", None)
+            root = exc
+            exc = exc.__cause__ or exc.__context__
+        parts = []
+        if process:
+            parts.append(f"process {process}")
+        elif phase:
+            parts.append(f"phase {phase}")
+        parts.append(f"{type(root).__name__}: {root}")
+        return " <- ".join(parts)
 
     @property
     def queue_seconds(self) -> Optional[float]:
@@ -544,6 +594,9 @@ class BatchReport:
     #: nested ``"shared"`` dict when a SharedCacheDirectory is attached
     cache: dict = field(default_factory=dict)
     budget_peak: dict[str, float] = field(default_factory=dict)
+    #: fired-fault counters + event log from the server's FaultInjector
+    #: (empty when no FaultPlan is armed)
+    faults: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[QuerySession]:
@@ -565,6 +618,32 @@ class BatchReport:
     def resizes(self) -> int:
         """Elastic-dop resizes across all sessions in this drive."""
         return sum(s.resizes for s in self.sessions)
+
+    @property
+    def retries(self) -> int:
+        """Retry round-trips across all sessions in this drive."""
+        return sum(s.retries for s in self.sessions)
+
+    @property
+    def fallbacks(self) -> int:
+        """Sessions a retry dropped to a device-reduced placement."""
+        return sum(1 for s in self.sessions if s.fell_back)
+
+    def retries_by_class(self) -> dict[str, int]:
+        """Retry counts per typed failure class (device_lost, ...)."""
+        counts: dict[str, int] = {}
+        for session in self.sessions:
+            for label in session.retried_classes:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def failures_by_class(self) -> dict[str, int]:
+        """Terminal-failure counts per typed class."""
+        counts: dict[str, int] = {}
+        for session in self.failed:
+            label = session.error_class or "fatal"
+            counts[label] = counts.get(label, 0) + 1
+        return counts
 
     @property
     def recompile_seconds(self) -> float:
@@ -652,6 +731,24 @@ class BatchReport:
             f"({self.throughput_qps:.2f} queries/s, "
             f"{self.preemptions} preemption(s), {self.resizes} resize(s))",
         ]
+        if self.retries or self.fallbacks:
+            by_class = ", ".join(
+                f"{label} x{count}"
+                for label, count in sorted(self.retries_by_class().items())
+            )
+            lines.append(
+                f"retries: {self.retries}"
+                + (f" ({by_class})" if by_class else "")
+                + f"; {self.fallbacks} session(s) fell back to a "
+                f"device-reduced placement"
+            )
+        if self.faults:
+            lines.append(
+                f"faults injected: {self.faults.get('device_losses', 0)} "
+                f"device loss(es), {self.faults.get('stragglers', 0)} "
+                f"straggler(s), {self.faults.get('spurious_aborts', 0)} "
+                f"spurious abort(s)"
+            )
         if self.cache:
             line = (
                 f"pipeline cache: {self.cache.get('hits', 0)} hits / "
@@ -705,6 +802,15 @@ class BatchReport:
             if session.resizes:
                 path = "->".join(str(dop) for _, dop in session.dop_trajectory)
                 extra += f" dop {path}"
+            if session.retries:
+                extra += f" retried x{session.retries}"
+            if session.fell_back:
+                extra += " fallback"
+            if session.status == "failed":
+                detail = session.failure_detail()
+                extra += f" [{session.error_class or 'error'}]"
+                if detail:
+                    extra += f" {detail}"
             lines.append(f"  {session.name:12s} {mark:7s} latency={lat}{extra}")
         return "\n".join(lines)
 
@@ -744,6 +850,16 @@ class EngineServer:
     and/or ``shared_cache=SharedCacheDirectory(...)`` (forwarded to
     :class:`~repro.engine.proteus.Proteus` like any engine kwarg) to
     select eviction and attach the server to a cross-server cache tier.
+
+    Chaos knobs: ``fault_plan=FaultPlan(...)`` arms seeded fault
+    injection (device loss, DMA stragglers, spurious aborts) for the
+    next drive; ``retry_policy=RetryPolicy(...)`` turns retryable
+    failures (:func:`~repro.engine.faults.classify_failure`) into
+    bounded re-admissions on a placement that excludes dead devices —
+    under the default ``fallback="cpu_only"`` a query that lost a GPU
+    retries CPU-only and returns byte-identical rows.  Without a retry
+    policy every failure is terminal but still typed
+    (``session.error_class``).
     """
 
     def __init__(
@@ -762,6 +878,8 @@ class EngineServer:
         min_dop: Optional[int] = None,
         max_dop: Optional[int] = None,
         target_utilization: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         **engine_kwargs: Any,
     ):
         if max_concurrent < 1:
@@ -844,6 +962,18 @@ class EngineServer:
         #: driver's finally exactly once (budget release, done event, and —
         #: through yield-from delegation — the executor's state cleanup)
         self._drivers: dict[int, Any] = {}
+        #: query id -> the driver's DES Process (spurious-abort target)
+        self._driver_procs: dict[int, Any] = {}
+        self.retry_policy = retry_policy
+        #: armed fault injector, or None when the drive is fault-free
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self.sim, self.server, fault_plan)
+            if fault_plan is not None
+            else None
+        )
+        if self.faults is not None:
+            self.faults.abort_running = self._abort_victim
+            self.executor.fault_injector = self.faults
 
     @property
     def _running(self) -> int:
@@ -1024,6 +1154,8 @@ class EngineServer:
         never skews the next one's makespan or throughput.
         """
         self._ensure_admission()
+        if self.faults is not None:
+            self.faults.arm()
         self.sim.run()
         try:
             self._check_stalled()
@@ -1151,6 +1283,13 @@ class EngineServer:
             return
         self._pending.remove(session)
         session.status = "running"
+        if session.readmit_event is not None:
+            # a retrying driver is parked on this event — resume it in
+            # place instead of spawning a second driver (its first
+            # admit_time stands: queue_seconds measures the first wait)
+            readmit, session.readmit_event = session.readmit_event, None
+            readmit.trigger(None)
+            return
         session.admit_time = self.sim.now
         if self.elastic and session.config.cpu_workers:
             session.dop_trajectory.append(
@@ -1158,7 +1297,9 @@ class EngineServer:
             )
         driver = self._query_proc(session)
         self._drivers[session.query_id] = driver
-        self.sim.process(driver, name=f"{session.tag}:driver")
+        self._driver_procs[session.query_id] = self.sim.process(
+            driver, name=f"{session.tag}:driver"
+        )
 
     def _release(self, session: QuerySession) -> None:
         """Give back whatever the session still holds (terminal state)."""
@@ -1233,6 +1374,10 @@ class EngineServer:
         """The executor-side preemption hook for one session."""
 
         def checkpoint() -> Optional[Event]:
+            if self.faults is not None:
+                # phase boundaries are the chaos tier's second clock:
+                # boundary-triggered device losses fire here
+                self.faults.on_phase_boundary()
             if not session.preempt_requested:
                 return None
             session.preempt_requested = False
@@ -1371,40 +1516,67 @@ class EngineServer:
         return new_config, affinity
 
     def _query_proc(self, session: QuerySession):
-        """DES driver for one admitted query: compile, execute, collect."""
+        """DES driver for one admitted query: compile, execute, collect.
+
+        Failures are classified (:func:`~repro.engine.faults.classify_failure`)
+        instead of blanket-failed: retryable classes — device loss,
+        transfer timeouts, spurious aborts — loop back through admission
+        on a placement that excludes dead devices (bounded by the
+        server's :class:`~repro.engine.faults.RetryPolicy`); plan bugs,
+        OOM and placement errors stay fatal but carry a typed
+        ``error_class`` either way.
+        """
         try:
-            # Two-phase compilation: resident pipelines are pinned NOW
-            # (a concurrent eviction cannot invalidate them), fresh ones
-            # are compiled — and published to the shared cache — only
-            # after their simulated compile latency has elapsed, so a
-            # concurrently admitted identical query pays for its own
-            # compilation instead of free-riding on an unfinished one.
-            compilation = self.executor.begin_compilation(session.het)
-            session.compiled_fresh = compilation.fresh_count
-            if session.compiled_fresh and self.compile_seconds:
-                # per-device, per-complexity pricing: a GPU build-sink
-                # pipeline pays ~5-10x what a trivial CPU filter does
-                session.compile_seconds_charged = compilation.compile_seconds(
-                    self.compile_seconds
-                )
-                yield self.sim.timeout(session.compile_seconds_charged)
-            pipelines = compilation.finish()
-            raw = yield from self.executor.execute_process(
-                session.het, session.config,
-                query_id=session.tag, pipelines=pipelines,
-                checkpoint=self._make_checkpoint(session),
-                reconfigure=(
-                    self._make_reconfigure(session) if self.elastic else None
-                ),
-            )
-            session.result = self.engine._collect(session.het.collect, raw)
-            session.status = "done"
-        except Exception as error:
-            session.status = "failed"
-            session.error = error
+            while True:
+                try:
+                    # Two-phase compilation: resident pipelines are pinned
+                    # NOW (a concurrent eviction cannot invalidate them),
+                    # fresh ones are compiled — and published to the shared
+                    # cache — only after their simulated compile latency has
+                    # elapsed, so a concurrently admitted identical query
+                    # pays for its own compilation instead of free-riding
+                    # on an unfinished one.
+                    compilation = self.executor.begin_compilation(session.het)
+                    session.compiled_fresh += compilation.fresh_count
+                    if compilation.fresh_count and self.compile_seconds:
+                        # per-device, per-complexity pricing: a GPU
+                        # build-sink pipeline pays ~5-10x what a trivial
+                        # CPU filter does
+                        charged = compilation.compile_seconds(
+                            self.compile_seconds
+                        )
+                        session.compile_seconds_charged += charged
+                        yield self.sim.timeout(charged)
+                    pipelines = compilation.finish()
+                    raw = yield from self.executor.execute_process(
+                        session.het, session.current_config or session.config,
+                        query_id=session.tag, pipelines=pipelines,
+                        checkpoint=self._make_checkpoint(session),
+                        reconfigure=(
+                            self._make_reconfigure(session)
+                            if self.elastic
+                            else None
+                        ),
+                    )
+                    session.result = self.engine._collect(
+                        session.het.collect, raw
+                    )
+                    session.status = "done"
+                    break
+                except Exception as error:
+                    label, retryable = classify_failure(error)
+                    retry = self._plan_retry(session) if retryable else None
+                    if retry is None:
+                        session.status = "failed"
+                        session.error = error
+                        session.error_class = label
+                        break
+                    session.retried_classes.append(label)
+                    yield from self._requeue_for_retry(session, retry)
         finally:
             session.preempt_requested = False
             self._drivers.pop(session.query_id, None)
+            self._driver_procs.pop(session.query_id, None)
             session.finish_time = self.sim.now
             if session.pause_started is not None:
                 # closed while parked: the tail of the pause counts too
@@ -1419,6 +1591,103 @@ class EngineServer:
                 session.done.trigger(session)
             self._wake_admission()
 
+    def _plan_retry(
+        self, session: QuerySession
+    ) -> Optional[tuple[ExecutionConfig, HetPlan, QueryDemand]]:
+        """Shape the next attempt, or None to fail terminally.
+
+        Dead devices are excluded through the placer's
+        ``exclude_devices`` constraint; under ``fallback="cpu_only"``
+        losing *any* GPU drops the retry to a CPU-only placement.  A
+        degraded shape that cannot be placed (or could never fit the
+        budget) ends the retry campaign.
+        """
+        policy = self.retry_policy
+        if policy is None or session.attempts >= policy.max_attempts:
+            return None
+        dead = frozenset(self.server.failed_gpus)
+        config = session.current_config or session.config
+        gpu_ids = tuple(gpu for gpu in config.gpu_ids if gpu not in dead)
+        if policy.fallback == "cpu_only" and len(gpu_ids) < len(config.gpu_ids):
+            gpu_ids = ()
+        cpu_workers = config.cpu_workers
+        if not gpu_ids and cpu_workers == 0:
+            cpu_workers = (
+                1 if config.bare
+                else min(policy.fallback_cpu_workers, len(self.server.cores))
+            )
+        try:
+            new_config = config.derive(
+                cpu_workers=cpu_workers, gpu_ids=gpu_ids
+            )
+            het = self.placer.place(
+                session.plan, new_config, exclude_devices=dead
+            )
+            demand = self._estimate_demand(het, new_config, session.qos)
+        except Exception:
+            return None
+        if not self.budget.can_ever_fit(demand):
+            return None
+        return new_config, het, demand
+
+    def _requeue_for_retry(
+        self,
+        session: QuerySession,
+        retry: tuple[ExecutionConfig, HetPlan, QueryDemand],
+    ):
+        """Generator: give back the failed attempt's budget, back off,
+        and re-enter the admission queue; resumes when :meth:`_activate`
+        re-admits the session (its driver stays parked on
+        ``readmit_event`` — no second driver is ever spawned)."""
+        new_config, het, demand = retry
+        if session.holds_budget:
+            self._release(session)
+        old_config = session.current_config or session.config
+        if len(new_config.gpu_ids) < len(old_config.gpu_ids):
+            session.fell_back = True
+        session.attempts += 1
+        session.current_config = new_config
+        session.het = het
+        session.demand = demand
+        session.preempt_requested = False
+        session.status = "queued"
+        backoff = self.retry_policy.backoff_seconds * (session.attempts - 1)
+        if backoff > 0:
+            yield self.sim.timeout(backoff)
+        session.readmit_event = self.sim.event(
+            name=f"{session.tag}:readmit"
+        )
+        # a retry is not a new arrival: it bypasses max_queue_depth (the
+        # session was already admitted once and sheds nothing)
+        self._pending.append(session)
+        self._wake_admission()
+        yield session.readmit_event
+
+    def _abort_victim(
+        self, target: Optional[str], reason: str
+    ) -> Optional[str]:
+        """Deliver a spurious abort to one running session's driver.
+
+        Picks the named session, or — deterministically — the earliest-
+        admitted running one; returns its name, or None when nothing is
+        abortable (the fault fizzles).  The interrupt surfaces in the
+        driver as a retryable ``aborted`` failure.
+        """
+        candidates = [
+            s for s in self._active_sessions.values()
+            if s.status == "running" and s.query_id in self._driver_procs
+        ]
+        if target is not None:
+            candidates = [s for s in candidates if s.name == target]
+        if not candidates:
+            return None
+        victim = min(
+            candidates,
+            key=lambda s: (s.admit_time or 0.0, s.query_id),
+        )
+        self._driver_procs[victim.query_id].interrupt(reason)
+        return victim.name
+
     def _check_stalled(self) -> None:
         """Detect (and clean up after) every failure mode of a drive.
 
@@ -1427,17 +1696,29 @@ class EngineServer:
         stuck session's budget and trigger its done event.
         """
         problems: list[str] = []
-        stuck = [s for s in self.sessions if s.status in ("running", "paused")]
+        # a "queued" session with a live driver is a retry parked on its
+        # readmit event — if the sim drained it will never be re-admitted
+        stuck = [
+            s for s in self.sessions
+            if s.status in ("running", "paused")
+            or (s.status == "queued" and s.query_id in self._drivers)
+        ]
         if stuck:
             details = "; ".join(
                 f"{s.name}: parked at a preemption checkpoint with no "
                 f"scheduler left to resume it"
                 if s.status == "paused"
+                else f"{s.name}: retry waiting for re-admission that "
+                f"never came"
+                if s.status == "queued"
                 else f"{s.name}: {self.executor.describe_stall(s.tag)}"
                 for s in stuck
             )
             for session in stuck:
+                if session in self._pending:
+                    self._pending.remove(session)
                 driver = self._drivers.pop(session.query_id, None)
+                self._driver_procs.pop(session.query_id, None)
                 if driver is not None:
                     # The driver's finally is the ONLY cleanup path: it
                     # releases the budget, triggers the done event, and
@@ -1447,6 +1728,7 @@ class EngineServer:
                     driver.close()
                 session.status = "failed"
                 session.error = SchedulerError(details)
+                session.error_class = "fatal"
             problems.append(f"batch stalled: {details}")
         dead_clients = [p for p in self._clients if p.triggered and not p.ok]
         if dead_clients:
@@ -1490,6 +1772,7 @@ class EngineServer:
             # (e.g. every session failed before put) still has counters
             cache=cache.snapshot() if cache is not None else {},
             budget_peak=dict(self.budget.peak),
+            faults=self.faults.snapshot() if self.faults is not None else {},
         )
 
     def check_conservation(self) -> dict[str, float]:

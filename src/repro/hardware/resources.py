@@ -52,6 +52,8 @@ class FifoResource:
         self._waiters: list[Event] = []
         self.total_busy_time = 0.0
         self._busy_since: Optional[float] = None
+        #: once set, every acquire (queued or future) fails with this
+        self._poisoned: Optional[BaseException] = None
 
     @property
     def in_use(self) -> int:
@@ -81,11 +83,28 @@ class FifoResource:
 
     def acquire(self) -> Event:
         event = Event(self.sim, name=f"acquire:{self.name}")
-        if self._in_use < self.slots:
+        if self._poisoned is not None:
+            event.fail(self._poisoned)
+        elif self._in_use < self.slots:
             self._grant(event)
         else:
             self._waiters.append(event)
         return event
+
+    def poison(self, exc: BaseException) -> None:
+        """Kill the resource: fail every queued waiter and all future
+        acquires with ``exc`` (device-loss injection).  Holders keep
+        their grant — their next interaction with the dead device fails
+        through its other poisoned resources — and their ``release()``
+        stays legal so teardown paths never double-fault.  Idempotent.
+        """
+        if self._poisoned is not None:
+            return
+        self._poisoned = exc
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.fail(exc)
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -142,6 +161,8 @@ class BandwidthResource:
         self._current_epoch = -1
         self.total_work_served = 0.0
         self._busy_time = 0.0
+        #: once set, in-flight and future jobs fail with this
+        self._poisoned: Optional[BaseException] = None
 
     # -- public API ------------------------------------------------------
 
@@ -169,6 +190,9 @@ class BandwidthResource:
         if weight <= 0:
             raise SimulationError(f"weight must be positive, got {weight}")
         done = Event(self.sim, name=f"bw:{self.name}:{label}")
+        if self._poisoned is not None:
+            done.fail(self._poisoned)
+            return done
         if work == 0:
             done.trigger(None)
             return done
@@ -176,6 +200,22 @@ class BandwidthResource:
         self._jobs.append(BandwidthJob(float(work), rate_cap, done, label, weight))
         self._reschedule()
         return done
+
+    def poison(self, exc: BaseException) -> None:
+        """Kill the resource: fail every in-flight job and all future
+        submits with ``exc`` (device-loss injection).  Bumps the epoch
+        counter so any already-scheduled completion tick becomes a
+        no-op instead of re-serving the dead jobs.  Idempotent.
+        """
+        if self._poisoned is not None:
+            return
+        self._advance()
+        self._current_epoch = next(self._epoch)
+        self._poisoned = exc
+        jobs, self._jobs = self._jobs, []
+        for job in jobs:
+            if not job.done.triggered:
+                job.done.fail(exc)
 
     def utilization(self, horizon: float) -> float:
         """Fraction of ``horizon`` during which the resource was busy."""

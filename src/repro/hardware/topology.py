@@ -26,6 +26,7 @@ from .specs import PAPER_SERVER, ServerSpec
 
 __all__ = [
     "DeviceType",
+    "DeviceLostError",
     "MemoryNode",
     "Core",
     "Socket",
@@ -36,6 +37,18 @@ __all__ = [
     "Server",
     "build_server",
 ]
+
+
+class DeviceLostError(RuntimeError):
+    """A compute device died while work depended on it.
+
+    Raised out of every resource of a failed GPU (compute slot, PCIe
+    link, HBM bandwidth, state allocations on its memory node) after
+    :meth:`Server.fail_device`.  Deliberately *not* a ``MemoryError``
+    subclass: memory managers must not re-wrap it as device-OOM — the
+    scheduler's failure classifier treats device loss as retryable on a
+    placement that excludes the dead device, while OOM stays fatal.
+    """
 
 
 class DeviceType(enum.Enum):
@@ -57,9 +70,13 @@ class MemoryNode:
     capacity_bytes: float
     bandwidth: BandwidthResource
     used_bytes: float = 0.0
+    #: set by Server.fail_device: allocations raise DeviceLostError
+    poisoned: Optional[str] = None
 
     def allocate(self, nbytes: float) -> None:
         """Track an allocation; raises when device memory is exhausted."""
+        if self.poisoned is not None:
+            raise DeviceLostError(self.poisoned)
         if self.used_bytes + nbytes > self.capacity_bytes:
             raise MemoryError(
                 f"memory node {self.node_id} exhausted: "
@@ -196,6 +213,9 @@ class Gpu:
     compute: FifoResource
     link: PcieLink
     device_type: DeviceType = DeviceType.GPU
+    #: cleared by Server.fail_device; dead GPUs are excluded from
+    #: retry placements and never revived within a simulation
+    alive: bool = True
 
     @property
     def name(self) -> str:
@@ -275,6 +295,8 @@ class Server:
                 socket.gpu_ids.append(gpu_id)
                 gpu_id += 1
 
+        #: gpu ids killed by fail_device (never revived in-simulation)
+        self.failed_gpus: set[int] = set()
         #: memoized route enumerations (the topology is immutable after
         #: construction, and paths_between sits on per-block hot paths)
         self._paths: dict[tuple[str, str], list[Path]] = {}
@@ -295,6 +317,37 @@ class Server:
     def paper_machine(cls, sim: Simulator) -> "Server":
         """The 2-socket, 24-core, 2-GPU server of the paper's evaluation."""
         return cls(sim, PAPER_SERVER)
+
+    # -- fault injection -------------------------------------------------
+
+    def fail_device(self, gpu_id: int, reason: str = "") -> bool:
+        """Kill one GPU: mark it dead and poison every resource it owns.
+
+        In-flight DMAs on any path through its PCIe link or HBM fail
+        immediately with :class:`DeviceLostError`, as do queued and
+        future kernel launches on its compute slot and state
+        allocations on its memory node.  The topology itself (path
+        enumerations, sibling devices, host DRAM) is untouched — routes
+        that do not traverse the dead device keep working.  Returns
+        False when the GPU was already dead (idempotent); raises on an
+        unknown gpu id.
+        """
+        if gpu_id < 0 or gpu_id >= len(self.gpus):
+            raise ValueError(
+                f"no gpu {gpu_id} on this server (have {len(self.gpus)})"
+            )
+        gpu = self.gpus[gpu_id]
+        if not gpu.alive:
+            return False
+        gpu.alive = False
+        self.failed_gpus.add(gpu_id)
+        detail = f"gpu{gpu_id} lost" + (f": {reason}" if reason else "")
+        exc = DeviceLostError(detail)
+        gpu.memory.poisoned = detail
+        gpu.compute.poison(exc)
+        gpu.link.bandwidth.poison(exc)
+        gpu.memory.bandwidth.poison(exc)
+        return True
 
     # -- lookups ---------------------------------------------------------
 

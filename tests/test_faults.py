@@ -1,0 +1,516 @@
+"""Chaos-tier tests: fault injection, typed failures, bounded retry.
+
+Three layers:
+
+* **unit** — :meth:`Server.fail_device` poisons every resource of the
+  lost GPU (compute slots, PCIe link, HBM, memory node) so queued and
+  in-flight work fails with the typed
+  :class:`~repro.hardware.topology.DeviceLostError`;
+  :func:`~repro.engine.faults.classify_failure` maps exception chains
+  to retryability; the mem-move's straggler hook and DMA deadline trip
+  a typed :class:`~repro.core.mem_move.TransferTimeout`;
+* **placement** — :meth:`HeterogeneousPlacer.place` with
+  ``exclude_devices`` never places a stage on a dead GPU, and refuses
+  (typed :class:`PlacementError`) when nothing survives;
+* **integration** — a GPU killed mid-query on a serving
+  :class:`EngineServer` classifies as retryable, the session re-enters
+  admission on a CPU-only placement, and returns rows byte-identical
+  to the fault-free reference with all budgets and staging arenas
+  conserved.  Without a :class:`RetryPolicy` the failure stays
+  terminal but typed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineServer, ExecutionConfig, Proteus
+from repro.algebra.physical import DeviceType
+from repro.algebra.placer import PlacementError
+from repro.core.mem_move import MemMove, TransferTimeout
+from repro.engine.executor import QueryError
+from repro.engine.faults import (
+    DeviceLossFault,
+    FaultPlan,
+    RetryPolicy,
+    SpuriousAbortFault,
+    StragglerFault,
+    classify_failure,
+)
+from repro.engine.reference import ReferenceExecutor
+from repro.hardware.costmodel import CostModel
+from repro.hardware.sim import Interrupt, Simulator
+from repro.hardware.specs import PAPER_SERVER
+from repro.hardware.topology import DeviceLostError, Server
+from repro.memory.block import Block, BlockHandle
+from repro.memory.managers import BlockManagerSet
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.005, seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference(tables):
+    ref = ReferenceExecutor(tables)
+    return {
+        qid: ref.execute(ssb_query(qid))
+        for qid in ("Q1.1", "Q2.1", "Q3.1")
+    }
+
+
+def _server(tables, **kwargs) -> EngineServer:
+    server = EngineServer(segment_rows=2048, **kwargs)
+    load_ssb(server.engine, tables=tables)
+    return server
+
+
+# ---------------------------------------------------------------------------
+# Unit: device loss poisons every resource of the GPU
+# ---------------------------------------------------------------------------
+
+
+class TestFailDevice:
+    def _machine(self):
+        sim = Simulator()
+        return sim, Server.paper_machine(sim)
+
+    def test_poisons_memory_compute_and_links(self):
+        _, server = self._machine()
+        assert server.fail_device(0, reason="test")
+        gpu = server.gpus[0]
+        assert not gpu.alive
+        assert server.failed_gpus == {0}
+        with pytest.raises(DeviceLostError):
+            gpu.memory.allocate(1024)
+        grant = gpu.compute.acquire()
+        assert grant.triggered and not grant.ok
+        assert isinstance(grant.value, DeviceLostError)
+        job = gpu.link.bandwidth.submit(1e6, label="late")
+        assert job.triggered and not job.ok
+        assert isinstance(job.value, DeviceLostError)
+
+    def test_idempotent_and_validated(self):
+        _, server = self._machine()
+        assert server.fail_device(1)
+        assert not server.fail_device(1)
+        with pytest.raises(ValueError):
+            server.fail_device(99)
+
+    def test_survivor_untouched(self):
+        _, server = self._machine()
+        server.fail_device(0)
+        gpu = server.gpus[1]
+        assert gpu.alive
+        gpu.memory.allocate(1024)
+        assert gpu.compute.acquire().ok
+
+    def test_in_flight_dma_poisoned(self):
+        """A consumer parked on ``transfer_done`` gets the typed error
+        (never a deadlock) when the device dies mid-transfer."""
+        sim, server = self._machine()
+        blocks = BlockManagerSet(server)
+        mem_move = MemMove(sim, server, blocks, CostModel(PAPER_SERVER))
+        handle = BlockHandle(
+            Block({"a": np.zeros(1 << 16, dtype=np.int64)}, "cpu:0")
+        )
+        moved = mem_move.schedule(handle, "gpu:0")
+        outcomes = []
+
+        def consumer():
+            try:
+                yield moved.transfer_done
+                outcomes.append("ok")
+            except DeviceLostError as error:
+                outcomes.append(error)
+
+        def killer():
+            yield sim.timeout(1e-6)
+            server.fail_device(0, reason="mid-flight")
+
+        sim.process(consumer())
+        sim.process(killer())
+        sim.run()
+        assert len(outcomes) == 1
+        assert isinstance(outcomes[0], DeviceLostError)
+
+
+# ---------------------------------------------------------------------------
+# Unit: the failure classifier
+# ---------------------------------------------------------------------------
+
+
+class TestClassifyFailure:
+    def test_direct_typed_errors(self):
+        assert classify_failure(DeviceLostError("x")) == ("device_lost", True)
+        assert classify_failure(TransferTimeout("x")) == (
+            "transfer_timeout", True,
+        )
+        assert classify_failure(Interrupt("chaos")) == ("aborted", True)
+        assert classify_failure(ValueError("x")) == ("fatal", False)
+
+    def test_walks_cause_chain(self):
+        try:
+            try:
+                raise DeviceLostError("gpu0 lost")
+            except DeviceLostError as root:
+                raise QueryError("process p failed") from root
+        except QueryError as wrapped:
+            assert classify_failure(wrapped) == ("device_lost", True)
+
+    def test_walks_context_chain(self):
+        try:
+            try:
+                raise TransferTimeout("slow")
+            except TransferTimeout:
+                raise RuntimeError("cleanup tripped")  # implicit __context__
+        except RuntimeError as wrapped:
+            assert classify_failure(wrapped) == ("transfer_timeout", True)
+
+    def test_fatal_chain_stays_fatal(self):
+        try:
+            try:
+                raise KeyError("missing column")
+            except KeyError as root:
+                raise QueryError("process p failed") from root
+        except QueryError as wrapped:
+            assert classify_failure(wrapped) == ("fatal", False)
+
+    def test_cyclic_chain_terminates(self):
+        error = RuntimeError("a")
+        error.__context__ = error
+        assert classify_failure(error) == ("fatal", False)
+
+
+# ---------------------------------------------------------------------------
+# Unit: straggler hook and DMA deadline
+# ---------------------------------------------------------------------------
+
+
+class TestTransferTimeout:
+    def _env(self, **kwargs):
+        sim = Simulator()
+        server = Server.paper_machine(sim)
+        blocks = BlockManagerSet(server)
+        return sim, MemMove(
+            sim, server, blocks, CostModel(PAPER_SERVER), **kwargs
+        )
+
+    def _transfer(self, sim, mem_move):
+        handle = BlockHandle(
+            Block({"a": np.zeros(1 << 16, dtype=np.int64)}, "cpu:0")
+        )
+        moved = mem_move.schedule(handle, "gpu:0")
+        outcomes = []
+
+        def consumer():
+            try:
+                yield moved.transfer_done
+                outcomes.append("ok")
+            except Exception as error:
+                outcomes.append(error)
+
+        sim.process(consumer())
+        sim.run()
+        return outcomes
+
+    def test_straggler_multiplies_latency(self):
+        baseline_sim, baseline = self._env()
+        assert self._transfer(baseline_sim, baseline) == ["ok"]
+        fast = baseline_sim.now
+        slow_sim, slow = self._env(straggler=lambda: 8.0)
+        assert self._transfer(slow_sim, slow) == ["ok"]
+        assert slow_sim.now == pytest.approx(8.0 * fast)
+
+    def test_deadline_trips_typed_timeout(self):
+        sim, mem_move = self._env(straggler=lambda: 1000.0, dma_timeout=1e-4)
+        outcomes = self._transfer(sim, mem_move)
+        assert len(outcomes) == 1
+        assert isinstance(outcomes[0], TransferTimeout)
+        assert "deadline" in str(outcomes[0])
+
+    def test_deadline_spares_fast_transfers(self):
+        sim, mem_move = self._env(dma_timeout=10.0)
+        assert self._transfer(sim, mem_move) == ["ok"]
+
+    def test_dma_timeout_validated(self):
+        with pytest.raises(ValueError):
+            self._env(dma_timeout=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Placement: dead devices are excluded, typed refusal when nothing is left
+# ---------------------------------------------------------------------------
+
+
+class TestPlacerExcludesDeadDevices:
+    def test_surviving_gpu_only(self, tables):
+        engine = Proteus(segment_rows=2048)
+        load_ssb(engine, tables=tables)
+        config = ExecutionConfig.hybrid(4, [0, 1], block_tuples=4096)
+        het = engine.placer.place(
+            ssb_query("Q1.1"), config, exclude_devices={0}
+        )
+        gpu_stages = [
+            s for s in het.all_stages() if s.device is DeviceType.GPU
+        ]
+        assert gpu_stages, "hybrid placement lost its GPU side entirely"
+        for stage in gpu_stages:
+            assert 0 not in stage.affinity
+
+    def test_all_devices_excluded_is_typed(self, tables):
+        engine = Proteus(segment_rows=2048)
+        load_ssb(engine, tables=tables)
+        config = ExecutionConfig.gpu_only([0, 1], block_tuples=4096)
+        with pytest.raises(PlacementError, match="excluded"):
+            engine.placer.place(
+                ssb_query("Q1.1"), config,
+                exclude_devices={0, 1},
+            )
+
+    def test_no_exclusions_is_the_identity(self, tables):
+        engine = Proteus(segment_rows=2048)
+        load_ssb(engine, tables=tables)
+        config = ExecutionConfig.gpu_only([0, 1], block_tuples=4096)
+        plan = ssb_query("Q1.1")
+        base = engine.placer.place(plan, config)
+        same = engine.placer.place(plan, config, exclude_devices=())
+        assert [s.name for s in base.all_stages()] == [
+            s.name for s in same.all_stages()
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Integration: the retry loop on a serving EngineServer
+# ---------------------------------------------------------------------------
+
+
+def _loss_plan(at_seconds, gpu_id=0, seed=7):
+    return FaultPlan(
+        seed=seed,
+        device_losses=(
+            DeviceLossFault(gpu_id=gpu_id, at_seconds=at_seconds),
+        ),
+    )
+
+
+class TestSchedulerRetry:
+    def test_device_loss_retries_cpu_only_byte_identical(
+        self, tables, reference
+    ):
+        server = _server(
+            tables,
+            fault_plan=_loss_plan(5e-4),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        report = server.run()
+        assert session.status == "done"
+        assert session.retried_classes == ["device_lost"]
+        assert session.fell_back
+        assert not (session.current_config or session.config).uses_gpu
+        assert sorted(session.result.rows) == sorted(reference["Q1.1"])
+        assert report.faults["device_losses"] == 1
+        assert report.retries == 1
+        assert report.fallbacks == 1
+        server.check_conservation()
+
+    def test_without_retry_policy_failure_is_terminal_but_typed(
+        self, tables
+    ):
+        server = _server(tables, fault_plan=_loss_plan(5e-4))
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        report = server.run()
+        assert session.status == "failed"
+        assert session.error_class == "device_lost"
+        assert session.error is not None
+        assert classify_failure(session.error) == ("device_lost", True)
+        assert "[device_lost]" in report.summary()
+        server.check_conservation()
+
+    def test_exhausted_attempts_fail_typed(self, tables):
+        server = _server(
+            tables,
+            fault_plan=_loss_plan(5e-4),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        server.run()
+        assert session.status == "failed"
+        assert session.error_class == "device_lost"
+        assert session.attempts == 1
+        server.check_conservation()
+
+    def test_phase_boundary_loss_retries(self, tables, reference):
+        plan = FaultPlan(
+            seed=11,
+            device_losses=(
+                DeviceLossFault(gpu_id=1, at_phase_boundary=1),
+            ),
+        )
+        server = _server(
+            tables, fault_plan=plan, retry_policy=RetryPolicy(),
+        )
+        session = server.submit(
+            ssb_query("Q3.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q3.1",
+        )
+        report = server.run()
+        assert session.status == "done"
+        assert session.retried_classes == ["device_lost"]
+        assert sorted(session.result.rows) == sorted(reference["Q3.1"])
+        assert report.faults["device_losses"] == 1
+        server.check_conservation()
+
+    def test_spurious_abort_is_retried(self, tables, reference):
+        plan = FaultPlan(
+            seed=3,
+            aborts=(SpuriousAbortFault(at_seconds=1e-3),),
+        )
+        server = _server(
+            tables,
+            compile_seconds=0.0,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(),
+        )
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        report = server.run()
+        assert session.status == "done"
+        assert session.retried_classes == ["aborted"]
+        assert not session.fell_back  # no device died: same placement
+        assert sorted(session.result.rows) == sorted(reference["Q1.1"])
+        assert report.faults["spurious_aborts"] == 1
+        server.check_conservation()
+
+    def test_straggler_runs_are_deterministic_per_seed(self, tables, reference):
+        def drive():
+            plan = FaultPlan(
+                seed=5,
+                straggler=StragglerFault(probability=0.5, multiplier=6.0),
+            )
+            server = _server(tables, fault_plan=plan)
+            session = server.submit(
+                ssb_query("Q2.1"),
+                ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+                name="Q2.1",
+            )
+            report = server.run()
+            server.check_conservation()
+            return session, report
+
+        first_session, first = drive()
+        second_session, second = drive()
+        assert first_session.status == "done"
+        assert sorted(first_session.result.rows) == sorted(reference["Q2.1"])
+        assert first.faults["stragglers"] > 0
+        assert first.faults == second.faults
+        assert first.makespan == second.makespan
+        assert first_session.latency == second_session.latency
+
+    def test_survivors_unaffected_by_siblings_device_loss(
+        self, tables, reference
+    ):
+        """A CPU-only sibling sharing the server with the victim query
+        completes untouched while the victim retries."""
+        server = _server(
+            tables,
+            max_concurrent=4,
+            fault_plan=_loss_plan(5e-4),
+            retry_policy=RetryPolicy(),
+        )
+        victim = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="victim",
+        )
+        bystander = server.submit(
+            ssb_query("Q2.1"),
+            ExecutionConfig.cpu_only(4, block_tuples=4096),
+            name="bystander",
+        )
+        server.run()
+        assert victim.status == "done"
+        assert victim.retries == 1
+        assert bystander.status == "done"
+        assert bystander.retries == 0
+        assert sorted(victim.result.rows) == sorted(reference["Q1.1"])
+        assert sorted(bystander.result.rows) == sorted(reference["Q2.1"])
+        server.check_conservation()
+
+
+# ---------------------------------------------------------------------------
+# Satellites 1 + 3: chained error detail and phase attribution
+# ---------------------------------------------------------------------------
+
+
+class TestFailureAttribution:
+    def test_session_error_preserves_cause_chain(self, tables):
+        server = _server(tables, fault_plan=_loss_plan(5e-4))
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        server.run()
+        assert session.status == "failed"
+        chain = []
+        exc = session.error
+        while exc is not None:
+            chain.append(exc)
+            exc = exc.__cause__ or exc.__context__
+        assert any(isinstance(e, DeviceLostError) for e in chain)
+
+    def test_summary_names_the_failed_process(self, tables):
+        server = _server(tables, fault_plan=_loss_plan(5e-4))
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        report = server.run()
+        detail = session.failure_detail()
+        assert detail.startswith(("process ", "phase "))
+        assert "DeviceLostError" in detail
+        assert detail in report.summary()
+
+    def test_wave_interrupt_attributed_to_phase_not_question_mark(
+        self, tables
+    ):
+        """An interrupt delivered to the wave wait itself (no failed
+        worker process) must name the executing phase, never ``"?"``."""
+        plan = FaultPlan(aborts=(SpuriousAbortFault(at_seconds=1e-3),))
+        server = _server(tables, compile_seconds=0.0, fault_plan=plan)
+        session = server.submit(
+            ssb_query("Q1.1"),
+            ExecutionConfig.gpu_only([0, 1], block_tuples=4096),
+            name="Q1.1",
+        )
+        server.run()
+        assert session.status == "failed"
+        assert session.error_class == "aborted"
+        assert isinstance(session.error, QueryError)
+        assert '"?"' not in str(session.error)
+        assert "?" not in (session.error.process or "")
+        assert session.error.phase
+        assert "phase" in session.failure_detail() or (
+            session.error.process is not None
+        )
+        server.check_conservation()

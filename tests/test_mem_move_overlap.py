@@ -471,3 +471,100 @@ class TestPathPolicyDynamics:
         assert sum(mem_move.path_counts.values()) == 2
         assert "pcie" in mem_move.path_counts  # the same-socket route
         sim.run()
+
+
+class TestAbortReentrancy:
+    """Satellite regressions: ``abort_outstanding`` iterating over live
+    dicts, and staged-slot accounting across queries sharing one arena."""
+
+    def test_abort_survives_staged_map_growth_mid_iteration(self):
+        """A release during the abort loop can wake a credit waiter whose
+        prefetcher re-enters ``schedule()`` for a node the loop has not
+        visited — the loop must iterate a snapshot, not the live dict."""
+        sim, _, blocks, mem_move = _mem_move_env(prefetch_depth=2)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        real_release = blocks.release
+        woken = []
+
+        def release_and_reschedule(node_id, count=1):
+            real_release(node_id, count)
+            if not woken:
+                # simulate the woken prefetcher: a brand-new target node
+                # appears in _staged_outstanding mid-iteration
+                woken.append(mem_move.schedule(_remote_handle(), "gpu:1"))
+
+        blocks.release = release_and_reschedule
+        mem_move.abort_outstanding()  # raises RuntimeError without snapshot
+        blocks.release = real_release
+        assert mem_move.staged_outstanding("gpu:0") == 0
+        assert mem_move.staged_outstanding("gpu:1") == 1
+        mem_move.release_staged("gpu:1")
+        assert mem_move.staged_outstanding() == 0
+
+    def test_abort_during_credit_wake_strands_no_waiter(self):
+        """A prefetcher parked on ``await_credit`` when the owning query
+        aborts must wake, re-check, and proceed — not hang forever."""
+        sim, _, _, mem_move = _mem_move_env(prefetch_depth=1)
+        mem_move.schedule(_remote_handle(), "gpu:0")  # credit exhausted
+        progressed = []
+
+        def parked_prefetcher():
+            while not mem_move.has_credit("gpu:0"):
+                yield mem_move.await_credit("gpu:0")
+            progressed.append(mem_move.schedule(_remote_handle(), "gpu:0"))
+
+        def aborter():
+            yield sim.timeout(1e-6)
+            mem_move.abort_outstanding()
+
+        sim.process(parked_prefetcher())
+        sim.process(aborter())
+        sim.run()
+        assert len(progressed) == 1
+        assert mem_move.staged_outstanding("gpu:0") == 1
+        mem_move.release_staged("gpu:0")
+
+    def test_cross_query_abort_release_race_conserves_arena(self):
+        """Query A's ``abort_outstanding`` racing query B's normal
+        ``release_staged`` on the same shared arena: A's late consumer
+        epilogue must be a no-op — it must not return B's slot (or any
+        slot) a second time and over-free the arena."""
+        sim = Simulator()
+        server = Server.paper_machine(sim)
+        blocks = BlockManagerSet(server)
+        cost = CostModel(PAPER_SERVER)
+        move_a = MemMove(sim, server, blocks, cost, prefetch_depth=4)
+        move_b = MemMove(sim, server, blocks, cost, prefetch_depth=4)
+        handle_a1 = move_a.schedule(_remote_handle(), "gpu:0")
+        handle_a2 = move_a.schedule(_remote_handle(), "gpu:0")
+        handle_b = move_b.schedule(_remote_handle(), "gpu:0")
+        for handle in (handle_a1, handle_a2, handle_b):
+            assert handle.transfer_done is not None  # all DMAs launched
+        # A dies with both slots in flight; the abort reclaims them
+        move_a.abort_outstanding()
+        assert move_a.staged_outstanding() == 0
+        # A's wedged consumer wakes late and runs its epilogue anyway:
+        # must be a no-op, B's slot stays accounted to B
+        move_a.release_staged("gpu:0")
+        move_a.release_staged("gpu:0")
+        assert move_b.staged_outstanding("gpu:0") == 1
+        move_b.release_staged("gpu:0")
+        assert move_b.staged_outstanding() == 0
+        sim.run()
+        blocks.release_all_caches()
+        for node_id, manager in blocks.managers.items():
+            assert manager.free_blocks == manager.arena_blocks, node_id
+        assert all(v == 0 for v in blocks.unaccounted_blocks().values())
+
+    def test_abort_is_idempotent_after_release_race(self):
+        sim, _, blocks, mem_move = _mem_move_env(prefetch_depth=2)
+        mem_move.schedule(_remote_handle(), "gpu:0")
+        mem_move.abort_outstanding()
+        mem_move.release_staged("gpu:0")  # late epilogue: no-op
+        mem_move.abort_outstanding()  # second abort: nothing to reclaim
+        assert mem_move.staged_outstanding() == 0
+        sim.run()
+        blocks.release_all_caches()
+        for node_id, manager in blocks.managers.items():
+            assert manager.free_blocks == manager.arena_blocks, node_id
