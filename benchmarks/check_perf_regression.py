@@ -1,0 +1,171 @@
+"""CI perf-regression gate: diff a fresh wall-clock run against baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline benchmarks/baselines/BENCH_7.json \
+        --fresh BENCH_7.json [--wall-tolerance 0.30]
+
+Compares every scenario of the fresh ``test_wallclock.py`` artifact to
+the committed baseline and exits non-zero when:
+
+* ``wall_seconds`` regressed by more than ``--wall-tolerance`` (default
+  +30 %) on any scenario — the reproduction got meaningfully more
+  expensive to run; or
+* ``simulated_seconds`` changed **at all** on any scenario — simulated
+  time is the repository's fidelity metric and is fully deterministic,
+  so any drift means engine behaviour changed and the baseline must be
+  regenerated deliberately (commit the new file with the PR that
+  explains why); or
+* a baseline scenario disappeared from the fresh run.
+
+New scenarios (present fresh, absent in baseline) pass with a note —
+adding coverage must not require a two-step dance.
+
+A before/after markdown table is always written: to the file named by
+``$GITHUB_STEP_SUMMARY`` when set (the CI job-summary surface), and to
+stdout either way.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(
+    baseline: dict, fresh: dict, wall_tolerance: float
+) -> tuple[list[dict], list[str]]:
+    """Per-scenario comparison rows plus the list of failure messages."""
+    rows: list[dict] = []
+    failures: list[str] = []
+    for scenario in sorted(set(baseline) | set(fresh)):
+        base_row = baseline.get(scenario)
+        fresh_row = fresh.get(scenario)
+        if fresh_row is None:
+            failures.append(f"{scenario}: scenario missing from fresh run")
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "status": "missing",
+                    "base": base_row,
+                    "fresh": None,
+                }
+            )
+            continue
+        if base_row is None:
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "status": "new",
+                    "base": None,
+                    "fresh": fresh_row,
+                }
+            )
+            continue
+        wall_ratio = fresh_row["wall_seconds"] / base_row["wall_seconds"]
+        sim_drift = fresh_row["simulated_seconds"] != base_row["simulated_seconds"]
+        status = "ok"
+        if sim_drift:
+            status = "sim-drift"
+            failures.append(
+                f"{scenario}: simulated_seconds changed "
+                f"{base_row['simulated_seconds']!r} -> "
+                f"{fresh_row['simulated_seconds']!r} (must be bit-stable; "
+                f"regenerate the baseline deliberately if intended)"
+            )
+        if wall_ratio > 1.0 + wall_tolerance:
+            status = "regressed" if status == "ok" else status
+            failures.append(
+                f"{scenario}: wall_seconds regressed "
+                f"{base_row['wall_seconds']:.3f}s -> "
+                f"{fresh_row['wall_seconds']:.3f}s "
+                f"({(wall_ratio - 1.0):+.0%} > +{wall_tolerance:.0%} budget)"
+            )
+        rows.append(
+            {
+                "scenario": scenario,
+                "status": status,
+                "base": base_row,
+                "fresh": fresh_row,
+                "wall_ratio": wall_ratio,
+            }
+        )
+    return rows, failures
+
+
+def markdown_table(rows: list[dict], wall_tolerance: float) -> str:
+    lines = [
+        "### Wall-clock perf gate",
+        "",
+        f"Budget: wall_seconds within +{wall_tolerance:.0%} of baseline; "
+        f"simulated_seconds bit-stable.",
+        "",
+        "| scenario | wall (base) | wall (fresh) | Δ wall | "
+        "simulated (base) | simulated (fresh) | status |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    icons = {
+        "ok": "✅ ok",
+        "new": "🆕 new",
+        "missing": "❌ missing",
+        "regressed": "❌ wall regression",
+        "sim-drift": "❌ sim drift",
+    }
+    for row in rows:
+        base, fresh = row["base"], row["fresh"]
+        cells = [
+            row["scenario"],
+            f"{base['wall_seconds']:.3f}s" if base else "—",
+            f"{fresh['wall_seconds']:.3f}s" if fresh else "—",
+            (f"{row['wall_ratio'] - 1.0:+.1%}" if base and fresh else "—"),
+            f"{base['simulated_seconds']:.6f}s" if base else "—",
+            f"{fresh['simulated_seconds']:.6f}s" if fresh else "—",
+            icons[row["status"]],
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when the wall-clock benchmark regressed"
+    )
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--fresh", required=True, help="freshly generated JSON from this run"
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional wall_seconds regression (default 0.30 = +30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    rows, failures = compare(load(args.baseline), load(args.fresh), args.wall_tolerance)
+    table = markdown_table(rows, args.wall_tolerance)
+    if failures:
+        table += "\n" + "\n".join(f"- ❌ {message}" for message in failures) + "\n"
+    else:
+        table += "\nAll scenarios within budget.\n"
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table)
+    print(table)
+    if failures:
+        print(f"perf gate FAILED ({len(failures)} problem(s))", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

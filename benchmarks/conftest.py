@@ -34,7 +34,7 @@ def print_figure(title: str, seconds: dict, query_ids) -> None:
             value = seconds[system][qid]
             if value != value:  # NaN
                 row += f"{'unsupported':>17s}"
-            elif value == float('inf'):
+            elif value == float("inf"):
                 row += f"{'failed (OOM)':>17s}"
             else:
                 row += f"{value:17.3f}"

@@ -16,7 +16,7 @@ import pytest
 
 from repro.engine.config import CachePolicy, ExecutionConfig, QoS
 from repro.engine.reference import ReferenceExecutor
-from repro.engine.scheduler import EngineServer, ResourceBudget
+from repro.engine.scheduler import EngineServer, ResourceBudget, Tenant
 from repro.jit.cache import SharedCacheDirectory
 from repro.ssb import generate_ssb, load_ssb, ssb_query
 
@@ -58,8 +58,8 @@ def _configs(settings):
     base = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
     return [
         base,
-        base.derive(cpu_workers=4, gpu_ids=(0, 1)),   # hybrid
-        base.derive(cpu_workers=0, gpu_ids=(0, 1)),   # gpu-only
+        base.derive(cpu_workers=4, gpu_ids=(0, 1)),  # hybrid
+        base.derive(cpu_workers=0, gpu_ids=(0, 1)),  # gpu-only
     ]
 
 
@@ -70,8 +70,9 @@ def _serve_batch(tables, settings, queries, max_concurrent):
     load_ssb(server.engine, tables=tables)
     configs = _configs(settings)
     for index, qid in enumerate(queries):
-        server.submit(ssb_query(qid), configs[index % len(configs)],
-                      name=f"{qid}#{index}")
+        server.submit(
+            ssb_query(qid), configs[index % len(configs)], name=f"{qid}#{index}"
+        )
     report = server.run()
     server.check_conservation()
     return server, report
@@ -81,8 +82,7 @@ class TestMixedBatchConcurrency:
     """The acceptance scenario: 8 mixed SSB queries, one shared server."""
 
     def test_concurrent_results_match_solo_reference(self, tables, settings):
-        _, report = _serve_batch(tables, settings, MIXED_BATCH,
-                                 max_concurrent=8)
+        _, report = _serve_batch(tables, settings, MIXED_BATCH, max_concurrent=8)
         assert len(report.completed) == len(MIXED_BATCH)
         reference = ReferenceExecutor(tables)
         for session in report.sessions:
@@ -91,35 +91,39 @@ class TestMixedBatchConcurrency:
             assert sorted(session.result.rows) == sorted(expected), session.name
 
     def test_concurrent_throughput_strictly_beats_serial(self, tables, settings):
-        _, concurrent = _serve_batch(tables, settings, MIXED_BATCH,
-                                     max_concurrent=8)
-        _, serial = _serve_batch(tables, settings, MIXED_BATCH,
-                                 max_concurrent=1)
-        print(f"\nconcurrent: {concurrent.makespan:.4f}s "
-              f"({concurrent.throughput_qps:.2f} q/s)  |  "
-              f"serial: {serial.makespan:.4f}s "
-              f"({serial.throughput_qps:.2f} q/s)")
+        _, concurrent = _serve_batch(tables, settings, MIXED_BATCH, max_concurrent=8)
+        _, serial = _serve_batch(tables, settings, MIXED_BATCH, max_concurrent=1)
+        print(
+            f"\nconcurrent: {concurrent.makespan:.4f}s "
+            f"({concurrent.throughput_qps:.2f} q/s)  |  "
+            f"serial: {serial.makespan:.4f}s "
+            f"({serial.throughput_qps:.2f} q/s)"
+        )
         assert concurrent.makespan < serial.makespan
         assert concurrent.throughput_qps > serial.throughput_qps
 
     def test_repeated_workload_hits_pipeline_cache(self, tables, settings):
         """Serve the batch, then serve it twice more on the warm server:
         the repeated rounds must run >= 90 % out of the pipeline cache."""
-        server, _ = _serve_batch(tables, settings, MIXED_BATCH,
-                                 max_concurrent=8)
+        server, _ = _serve_batch(tables, settings, MIXED_BATCH, max_concurrent=8)
         stats = server.executor.pipeline_cache.stats
         hits_before, misses_before = stats.hits, stats.misses
         configs = _configs(settings)
         for round_index in range(2):
             for index, qid in enumerate(MIXED_BATCH):
-                server.submit(ssb_query(qid), configs[index % len(configs)],
-                              name=f"{qid}@r{round_index}")
+                server.submit(
+                    ssb_query(qid),
+                    configs[index % len(configs)],
+                    name=f"{qid}@r{round_index}",
+                )
             server.run()
         repeated_hits = stats.hits - hits_before
         repeated_misses = stats.misses - misses_before
         hit_rate = repeated_hits / max(1, repeated_hits + repeated_misses)
-        print(f"\nrepeated-workload cache: {repeated_hits} hits / "
-              f"{repeated_misses} misses (hit rate {hit_rate:.1%})")
+        print(
+            f"\nrepeated-workload cache: {repeated_hits} hits / "
+            f"{repeated_misses} misses (hit rate {hit_rate:.1%})"
+        )
         assert hit_rate >= 0.90
         server.check_conservation()
 
@@ -146,12 +150,17 @@ class TestSlaTailLatency:
         load_ssb(server.engine, tables=tables)
         config = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
         for index, qid in enumerate(SLA_BACKGROUND):
-            server.submit(ssb_query(qid), config, name=f"{qid}#bg{index}",
-                          qos=QoS.background())
+            server.submit(
+                ssb_query(qid), config, name=f"{qid}#bg{index}", qos=QoS.background()
+            )
         server.spawn_open_loop(
-            [ssb_query(qid) for qid in SLA_INTERACTIVE], config,
-            rate_qps=50.0, arrivals=6, seed=5,
-            qos=QoS.interactive(deadline_seconds=0.2), name="inter",
+            [ssb_query(qid) for qid in SLA_INTERACTIVE],
+            config,
+            rate_qps=50.0,
+            arrivals=6,
+            seed=5,
+            qos=QoS.interactive(deadline_seconds=0.2),
+            name="inter",
         )
         report = server.run()
         server.check_conservation()
@@ -162,21 +171,25 @@ class TestSlaTailLatency:
         sla = self._drive(tables, settings, admission="sla")
         fifo_tail = fifo.latency_percentiles()["interactive"]
         sla_tail = sla.latency_percentiles()["interactive"]
-        print(f"\ninteractive p50/p95/p99 — "
-              f"fifo: {fifo_tail['p50']:.4f}/{fifo_tail['p95']:.4f}/"
-              f"{fifo_tail['p99']:.4f}s  |  "
-              f"sla: {sla_tail['p50']:.4f}/{sla_tail['p95']:.4f}/"
-              f"{sla_tail['p99']:.4f}s  "
-              f"({sla.preemptions} preemption(s), deadline hits "
-              f"{sla.deadline_hit_rates()['interactive']:.0%} vs "
-              f"{fifo.deadline_hit_rates()['interactive']:.0%})")
+        print(
+            f"\ninteractive p50/p95/p99 — "
+            f"fifo: {fifo_tail['p50']:.4f}/{fifo_tail['p95']:.4f}/"
+            f"{fifo_tail['p99']:.4f}s  |  "
+            f"sla: {sla_tail['p50']:.4f}/{sla_tail['p95']:.4f}/"
+            f"{sla_tail['p99']:.4f}s  "
+            f"({sla.preemptions} preemption(s), deadline hits "
+            f"{sla.deadline_hit_rates()['interactive']:.0%} vs "
+            f"{fifo.deadline_hit_rates()['interactive']:.0%})"
+        )
         # the SLA headline: strictly lower interactive tail latency
         assert sla_tail["p99"] < fifo_tail["p99"]
         assert sla_tail["p50"] < fifo_tail["p50"]
         # preemption visibly fired and the SLO went from missed to met
         assert sla.preemptions >= 1
-        assert sla.deadline_hit_rates()["interactive"] > \
-            fifo.deadline_hit_rates()["interactive"]
+        assert (
+            sla.deadline_hit_rates()["interactive"]
+            > fifo.deadline_hit_rates()["interactive"]
+        )
         # scheduling never trades correctness: every completed query in
         # BOTH runs matches the reference executor exactly
         reference = ReferenceExecutor(tables)
@@ -184,8 +197,7 @@ class TestSlaTailLatency:
             assert len(report.completed) == len(SLA_BACKGROUND) + 6
             for session in report.completed:
                 expected = reference.execute(ssb_query(_session_query_id(session)))
-                assert sorted(session.result.rows) == sorted(expected), \
-                    session.name
+                assert sorted(session.result.rows) == sorted(expected), session.name
 
 
 class TestElasticThroughput:
@@ -215,19 +227,20 @@ class TestElasticThroughput:
             kwargs.update(elastic=True, max_dop=8)
         server = EngineServer(**kwargs)
         load_ssb(server.engine, tables=tables, logical_sf=ELASTIC_LOGICAL_SF)
-        background = ExecutionConfig.cpu_only(
-            3, block_tuples=settings.block_tuples
-        )
-        interactive = ExecutionConfig.cpu_only(
-            4, block_tuples=settings.block_tuples
-        )
+        background = ExecutionConfig.cpu_only(3, block_tuples=settings.block_tuples)
+        interactive = ExecutionConfig.cpu_only(4, block_tuples=settings.block_tuples)
         for index, qid in enumerate(SLA_BACKGROUND):
-            server.submit(ssb_query(qid), background, name=f"{qid}#bg{index}",
-                          qos=QoS.batch())
+            server.submit(
+                ssb_query(qid), background, name=f"{qid}#bg{index}", qos=QoS.batch()
+            )
         server.spawn_open_loop(
-            [ssb_query(qid) for qid in SLA_INTERACTIVE], interactive,
-            rate_qps=2.0, arrivals=6, seed=5,
-            qos=QoS.interactive(deadline_seconds=2.0), name="inter",
+            [ssb_query(qid) for qid in SLA_INTERACTIVE],
+            interactive,
+            rate_qps=2.0,
+            arrivals=6,
+            seed=5,
+            qos=QoS.interactive(deadline_seconds=2.0),
+            name="inter",
         )
         report = server.run()
         server.check_conservation()
@@ -236,10 +249,7 @@ class TestElasticThroughput:
     @staticmethod
     def _batch_throughput(report):
         batch = [s for s in report.completed if s.label == "batch"]
-        span = (
-            max(s.finish_time for s in batch)
-            - min(s.submit_time for s in batch)
-        )
+        span = max(s.finish_time for s in batch) - min(s.submit_time for s in batch)
         return len(batch) / span
 
     def test_elastic_beats_fixed_dop_at_saturation(self, tables, settings):
@@ -249,17 +259,24 @@ class TestElasticThroughput:
         elastic_tp = self._batch_throughput(elastic)
         fixed_tail = fixed.latency_percentiles()["interactive"]
         elastic_tail = elastic.latency_percentiles()["interactive"]
-        print(f"\nelastic-vs-fixed batch throughput — "
-              f"fixed: {fixed_tp:.2f} q/s  |  elastic: {elastic_tp:.2f} q/s "
-              f"({(elastic_tp / fixed_tp - 1) * 100:+.0f}%, "
-              f"{elastic.resizes} resize(s))")
-        print(f"interactive p50/p99 — "
-              f"fixed: {fixed_tail['p50']:.4f}/{fixed_tail['p99']:.4f}s  |  "
-              f"elastic: {elastic_tail['p50']:.4f}/{elastic_tail['p99']:.4f}s")
-        print("dop trajectories: "
-              + ", ".join(f"{tag}:{'->'.join(map(str, path))}"
-                          for tag, path in
-                          sorted(elastic.dop_trajectories().items())))
+        print(
+            f"\nelastic-vs-fixed batch throughput — "
+            f"fixed: {fixed_tp:.2f} q/s  |  elastic: {elastic_tp:.2f} q/s "
+            f"({(elastic_tp / fixed_tp - 1) * 100:+.0f}%, "
+            f"{elastic.resizes} resize(s))"
+        )
+        print(
+            f"interactive p50/p99 — "
+            f"fixed: {fixed_tail['p50']:.4f}/{fixed_tail['p99']:.4f}s  |  "
+            f"elastic: {elastic_tail['p50']:.4f}/{elastic_tail['p99']:.4f}s"
+        )
+        print(
+            "dop trajectories: "
+            + ", ".join(
+                f"{tag}:{'->'.join(map(str, path))}"
+                for tag, path in sorted(elastic.dop_trajectories().items())
+            )
+        )
         # the elastic headline: strictly more batch throughput at
         # saturation, with no interactive tail-latency regression
         assert elastic.resizes >= 1
@@ -272,8 +289,7 @@ class TestElasticThroughput:
             assert len(report.completed) == len(SLA_BACKGROUND) + 6
             for session in report.completed:
                 expected = reference.execute(ssb_query(_session_query_id(session)))
-                assert sorted(session.result.rows) == sorted(expected), \
-                    session.name
+                assert sorted(session.result.rows) == sorted(expected), session.name
 
 
 #: the cache-policy scenario: a hot GPU mix recompiled every round plus a
@@ -302,23 +318,21 @@ class TestCachePolicyEfficacy:
         server = EngineServer(
             segment_rows=settings.segment_rows,
             max_concurrent=4,
-            cache_policy=CachePolicy(capacity=CACHE_CAPACITY,
-                                     eviction=eviction),
+            cache_policy=CachePolicy(capacity=CACHE_CAPACITY, eviction=eviction),
             shared_cache=shared,
         )
         load_ssb(server.engine, tables=tables)
-        gpu_cfg = ExecutionConfig.gpu_only([0, 1],
-                                           block_tuples=settings.block_tuples)
-        cpu_cfg = ExecutionConfig.cpu_only(4,
-                                           block_tuples=settings.block_tuples)
+        gpu_cfg = ExecutionConfig.gpu_only([0, 1], block_tuples=settings.block_tuples)
+        cpu_cfg = ExecutionConfig.cpu_only(4, block_tuples=settings.block_tuples)
         recompile_cost = 0.0
         reports = []
         for round_index in range(rounds):
             mix = [(qid, gpu_cfg) for qid in CACHE_HOT_GPU]
             mix += [(qid, cpu_cfg) for qid in CACHE_CHURN]
             for index, (qid, cfg) in enumerate(mix):
-                server.submit(ssb_query(qid), cfg,
-                              name=f"{qid}#r{round_index}.{index}")
+                server.submit(
+                    ssb_query(qid), cfg, name=f"{qid}#r{round_index}.{index}"
+                )
             report = server.run()
             assert len(report.completed) == len(mix)
             recompile_cost += report.recompile_seconds
@@ -326,46 +340,48 @@ class TestCachePolicyEfficacy:
         server.check_conservation()
         return server, recompile_cost, reports
 
-    def test_cost_aware_eviction_beats_lru_recompile_cost(
-        self, tables, settings
-    ):
+    def test_cost_aware_eviction_beats_lru_recompile_cost(self, tables, settings):
         costs = {}
         hit_rates = {}
         for eviction in ("lru", "cost_aware"):
-            server, cost, _ = self._drive(tables, settings, eviction,
-                                          rounds=3)
+            server, cost, _ = self._drive(tables, settings, eviction, rounds=3)
             costs[eviction] = cost
             hit_rates[eviction] = server.executor.pipeline_cache.stats.hit_rate
-        print(f"\ncache-policy recompile cost (3 rounds, capacity "
-              f"{CACHE_CAPACITY}) — "
-              f"lru: {costs['lru']:.4f}s (hit rate {hit_rates['lru']:.1%})  |  "
-              f"cost_aware: {costs['cost_aware']:.4f}s "
-              f"(hit rate {hit_rates['cost_aware']:.1%}, "
-              f"{(1 - costs['cost_aware'] / costs['lru']) * 100:.0f}% saved)")
+        print(
+            f"\ncache-policy recompile cost (3 rounds, capacity "
+            f"{CACHE_CAPACITY}) — "
+            f"lru: {costs['lru']:.4f}s (hit rate {hit_rates['lru']:.1%})  |  "
+            f"cost_aware: {costs['cost_aware']:.4f}s "
+            f"(hit rate {hit_rates['cost_aware']:.1%}, "
+            f"{(1 - costs['cost_aware'] / costs['lru']) * 100:.0f}% saved)"
+        )
         # the acceptance headline: strictly lower total simulated
         # recompile cost under cost-aware eviction
         assert costs["cost_aware"] < costs["lru"]
         assert hit_rates["cost_aware"] > hit_rates["lru"]
 
-    def test_shared_directory_serves_cross_server_hits(
-        self, tables, settings
-    ):
+    def test_shared_directory_serves_cross_server_hits(self, tables, settings):
         directory = SharedCacheDirectory(capacity=256)
         server_a, cost_a, reports_a = self._drive(
-            tables, settings, "cost_aware", shared=directory)
+            tables, settings, "cost_aware", shared=directory
+        )
         server_b, cost_b, reports_b = self._drive(
-            tables, settings, "cost_aware", shared=directory)
+            tables, settings, "cost_aware", shared=directory
+        )
         snap = directory.snapshot()
-        print(f"\nshared cache directory — server A recompiled "
-              f"{cost_a:.4f}s, server B {cost_b:.4f}s; "
-              f"{snap['cross_server_hits']} cross-server hit(s), "
-              f"{snap['size']}/{snap['capacity']} resident")
+        print(
+            f"\nshared cache directory — server A recompiled "
+            f"{cost_a:.4f}s, server B {cost_b:.4f}s; "
+            f"{snap['cross_server_hits']} cross-server hit(s), "
+            f"{snap['size']}/{snap['capacity']} resident"
+        )
         # server B never compiles: every shape was published by server A
         assert cost_a > 0
         assert cost_b == 0.0
         assert snap["cross_server_hits"] > 0
-        assert all(s.compiled_fresh == 0
-                   for report in reports_b for s in report.sessions)
+        assert all(
+            s.compiled_fresh == 0 for report in reports_b for s in report.sessions
+        )
         # sharing compiled artefacts never trades correctness: both
         # servers' answers are byte-identical to the reference executor
         reference = ReferenceExecutor(tables)
@@ -374,8 +390,9 @@ class TestCachePolicyEfficacy:
                 for session in report.completed:
                     qid = session.name.split("#")[0]
                     expected = reference.execute(ssb_query(qid))
-                    assert sorted(session.result.rows) == sorted(expected), \
+                    assert sorted(session.result.rows) == sorted(expected), (
                         session.name
+                    )
 
 
 @pytest.mark.slow
@@ -387,11 +404,12 @@ class TestSaturationSweep:
         batch = MIXED_BATCH * 3  # 24 queries
         throughput = {}
         for level in (1, 2, 4, 8, 16):
-            _, report = _serve_batch(tables, settings, batch,
-                                     max_concurrent=level)
+            _, report = _serve_batch(tables, settings, batch, max_concurrent=level)
             throughput[level] = report.throughput_qps
-        print("\nconcurrency -> queries/s: " + ", ".join(
-            f"{level}: {qps:.2f}" for level, qps in throughput.items()))
+        print(
+            "\nconcurrency -> queries/s: "
+            + ", ".join(f"{level}: {qps:.2f}" for level, qps in throughput.items())
+        )
         assert throughput[2] > throughput[1]
         assert throughput[4] > throughput[2]
         assert throughput[16] >= throughput[8] * 0.8  # flat at saturation
@@ -399,14 +417,14 @@ class TestSaturationSweep:
         assert all(qps > 0 for qps in throughput.values())
 
     def test_closed_loop_clients_saturate_gracefully(self, tables, settings):
-        server = EngineServer(
-            segment_rows=settings.segment_rows, max_concurrent=6
-        )
+        server = EngineServer(segment_rows=settings.segment_rows, max_concurrent=6)
         load_ssb(server.engine, tables=tables)
         configs = _configs(settings)
-        flights = [["Q1.1", "Q2.1", "Q3.1", "Q4.1"],
-                   ["Q1.2", "Q2.2", "Q3.2", "Q4.2"],
-                   ["Q1.3", "Q2.3", "Q3.3", "Q3.4"]]
+        flights = [
+            ["Q1.1", "Q2.1", "Q3.1", "Q4.1"],
+            ["Q1.2", "Q2.2", "Q3.2", "Q4.2"],
+            ["Q1.3", "Q2.3", "Q3.3", "Q3.4"],
+        ]
         for client_index, qids in enumerate(flights):
             server.spawn_client(
                 [ssb_query(qid) for qid in qids],
@@ -417,3 +435,141 @@ class TestSaturationSweep:
         report = server.run()
         assert len(report.completed) == sum(len(f) for f in flights)
         server.check_conservation()
+
+
+class TestTenantIsolation:
+    """The multi-tenant acceptance scenario: noisy neighbor contained.
+
+    A victim tenant serves four interactive queries; a noisy tenant
+    floods the same server with cheap batch queries.  Served three ways
+    on identical fresh servers: the victim **solo**, the mixed traffic
+    **without** isolation (everyone untenanted, FIFO-of-priorities
+    only), and the mixed traffic **with** isolation (the noisy tenant
+    rate-unlimited but quota-capped at a quarter of the compute budget,
+    the victim weighted 2:1).  The contracts: with isolation on, the
+    noisy tenant's in-flight demand never exceeds its quota slice, the
+    victim's p99 stays within 20 % of its solo run, aggregate
+    throughput is preserved, and every query in every run still returns
+    byte-identical rows.
+    """
+
+    VICTIM = ["Q1.1", "Q2.1", "Q3.1", "Q1.2"]
+    NOISY = ["Q1.1", "Q1.2", "Q1.3", "Q1.1", "Q1.2", "Q1.3", "Q1.1", "Q1.2"]
+
+    def _server(self, tables, settings, tenants=None):
+        server = EngineServer(
+            segment_rows=settings.segment_rows,
+            max_concurrent=4,
+            budget=ResourceBudget(cpu_cores=12),
+            tenants=tenants,
+        )
+        load_ssb(server.engine, tables=tables)
+        return server
+
+    def _submit_victim(self, server, settings, tenant=None):
+        config = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
+        return [
+            server.submit(
+                ssb_query(qid),
+                config,
+                name=f"victim-{qid}#{i}",
+                qos=QoS.interactive(),
+                tenant=tenant,
+            )
+            for i, qid in enumerate(self.VICTIM)
+        ]
+
+    def _submit_noisy(self, server, settings, tenant=None):
+        config = ExecutionConfig.cpu_only(2, block_tuples=settings.block_tuples)
+        return [
+            server.submit(
+                ssb_query(qid),
+                config,
+                name=f"noisy-{qid}#{i}",
+                qos=QoS.background(),
+                tenant=tenant,
+            )
+            for i, qid in enumerate(self.NOISY)
+        ]
+
+    @staticmethod
+    def _p99(sessions):
+        ordered = sorted(s.latency for s in sessions if s.status == "done")
+        assert ordered, "no completed victim sessions"
+        return ordered[-1] if len(ordered) < 100 else ordered[int(0.99 * len(ordered))]
+
+    def test_noisy_neighbor_contained(self, tables, settings):
+        # 1. victim alone: the baseline tail
+        solo_server = self._server(tables, settings)
+        solo = self._submit_victim(solo_server, settings)
+        solo_server.run()
+        solo_server.check_conservation()
+        solo_p99 = self._p99(solo)
+
+        # 2. mixed traffic, no isolation
+        bare_server = self._server(tables, settings)
+        bare_victim = self._submit_victim(bare_server, settings)
+        bare_noisy = self._submit_noisy(bare_server, settings)
+        bare_report = bare_server.run()
+        bare_server.check_conservation()
+
+        # 3. mixed traffic, isolation on: noisy quota-capped at 1/4 of
+        # the 12-core budget, victim weighted up
+        tenants = [
+            Tenant("victim", weight=2.0),
+            Tenant("noisy", weight=1.0, compute_quota=0.25),
+        ]
+        iso_server = self._server(tables, settings, tenants=tenants)
+        iso_victim = self._submit_victim(iso_server, settings, tenant="victim")
+        iso_noisy = self._submit_noisy(iso_server, settings, tenant="noisy")
+        iso_report = iso_server.run()
+        iso_server.check_conservation()
+
+        iso_p99 = self._p99(iso_victim)
+        bare_p99 = self._p99(bare_victim)
+        print(
+            f"\nvictim p99 — solo: {solo_p99:.4f}s | "
+            f"no isolation: {bare_p99:.4f}s | "
+            f"isolated: {iso_p99:.4f}s"
+        )
+        print(
+            f"aggregate throughput — no isolation: "
+            f"{bare_report.throughput_qps:.2f} q/s | isolated: "
+            f"{iso_report.throughput_qps:.2f} q/s"
+        )
+
+        # every session in every run completed with byte-identical rows
+        reference = ReferenceExecutor(tables)
+        for sessions in (solo, bare_victim, bare_noisy, iso_victim, iso_noisy):
+            for session in sessions:
+                assert session.status == "done", session.name
+                qid = session.name.split("-")[1].split("#")[0]
+                expected = reference.execute(ssb_query(qid))
+                assert sorted(session.result.rows) == sorted(expected), session.name
+
+        # the capped tenant's in-flight demand never exceeded its slice
+        noisy_budget = iso_server.tenant_states["noisy"].budget
+        assert noisy_budget.peak["cpu_cores"] <= 3.0 + 1e-9
+        assert iso_report.tenants["noisy"]["budget_peak"]["cpu_cores"] <= 3.0
+
+        # without isolation the noisy tenant's in-flight demand really
+        # did exceed the slice the quota would have allowed — the cap
+        # binds, this scenario is not vacuous
+        events = sorted(
+            [(s.admit_time, 2) for s in bare_noisy]
+            + [(s.finish_time, -2) for s in bare_noisy]
+        )
+        in_flight = peak_cores = 0
+        for _, delta in events:
+            in_flight += delta
+            peak_cores = max(peak_cores, in_flight)
+        assert peak_cores > 3
+
+        # the victim's tail under attack stays within 20 % of its solo
+        # run, and never drifts far from the free-for-all's
+        assert iso_p99 <= 1.2 * solo_p99
+        assert iso_p99 <= bare_p99 * 1.1
+
+        # capping the noisy tenant must not torpedo aggregate service
+        assert len(iso_report.completed) == len(bare_report.completed)
+        assert iso_report.throughput_qps >= 0.7 * bare_report.throughput_qps

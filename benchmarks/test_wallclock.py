@@ -1,12 +1,15 @@
-"""Wall-clock perf harness: times the default-tier drives, writes BENCH_5.json.
+"""Wall-clock perf harness: times the default-tier drives, writes BENCH_7.json.
 
 Simulated seconds are the repository's *fidelity* metric; this harness
-finally tracks the *cost of producing them* — real wall-clock time of the
+tracks the *cost of producing them* — real wall-clock time of the
 default-tier SSB figure drive and the multi-query throughput drive — so
 the perf trajectory of the reproduction itself is visible per PR.  The
-benchmark-smoke CI job uploads the JSON artifact.
+benchmark-smoke CI job uploads the fresh JSON artifact **and diffs it
+against the committed baseline** (``benchmarks/baselines/BENCH_7.json``)
+with ``benchmarks/check_perf_regression.py``: >30 % wall-clock
+regression or *any* simulated-seconds drift fails the build.
 
-Schema (``BENCH_5.json``)::
+Schema (``BENCH_7.json``)::
 
     {scenario: {"wall_seconds": float,
                 "simulated_seconds": float,
@@ -15,6 +18,9 @@ Schema (``BENCH_5.json``)::
 ``throughput`` is scenario-specific work per *wall* second: logical
 bytes/s for the SSB scenarios, completed queries/s for the multi-query
 drive (the metric each drive already optimises, now per real second).
+
+Per-PR baselines live in ``benchmarks/baselines/BENCH_<pr>.json`` and
+are git-tracked; the fresh artifact at the repo root stays ignored.
 """
 
 import json
@@ -31,11 +37,13 @@ from repro.ssb import generate_ssb, load_ssb, ssb_query
 from repro.ssb.loader import working_set_bytes
 from repro.ssb.queries import SSB_QUERY_IDS
 
-#: where the artifact lands (repo root; CI uploads it)
+#: where the fresh artifact lands (repo root, gitignored; CI uploads it
+#: and gates on it against benchmarks/baselines/BENCH_7.json)
 BENCH_PATH = os.environ.get(
-    "BENCH5_PATH",
-    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-                 "BENCH_5.json"),
+    "BENCH_PATH",
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_7.json"
+    ),
 )
 
 #: the multi-query mixed batch the throughput benchmarks drive
@@ -52,7 +60,8 @@ def _scenario_ssb_gpu(settings, tables, prefetch_depth):
     engine = Proteus(segment_rows=settings.segment_rows)
     load_ssb(engine, tables=tables, logical_sf=1000.0)
     config = ExecutionConfig.gpu_only(
-        settings.gpu_ids, block_tuples=settings.block_tuples,
+        settings.gpu_ids,
+        block_tuples=settings.block_tuples,
         prefetch_depth=prefetch_depth,
     )
     simulated = 0.0
@@ -73,8 +82,7 @@ def _scenario_ssb_gpu(settings, tables, prefetch_depth):
 
 def _scenario_multiquery(settings, tables):
     """The default-tier mixed-batch concurrent drive."""
-    server = EngineServer(segment_rows=settings.segment_rows,
-                          max_concurrent=8)
+    server = EngineServer(segment_rows=settings.segment_rows, max_concurrent=8)
     load_ssb(server.engine, tables=tables)
     base = ExecutionConfig.cpu_only(6, block_tuples=settings.block_tuples)
     configs = [
@@ -84,8 +92,9 @@ def _scenario_multiquery(settings, tables):
     ]
     start = time.perf_counter()
     for index, qid in enumerate(MIXED_BATCH):
-        server.submit(ssb_query(qid), configs[index % len(configs)],
-                      name=f"{qid}#{index}")
+        server.submit(
+            ssb_query(qid), configs[index % len(configs)], name=f"{qid}#{index}"
+        )
     report = server.run()
     wall = time.perf_counter() - start
     server.check_conservation()
@@ -112,13 +121,15 @@ def bench(settings, tables):
     return results
 
 
-def test_bench5_written_with_schema(bench):
+def test_bench_written_with_schema(bench):
     with open(BENCH_PATH) as fh:
         on_disk = json.load(fh)
     assert set(on_disk) == set(bench)
     for scenario, row in on_disk.items():
         assert set(row) == {
-            "wall_seconds", "simulated_seconds", "throughput",
+            "wall_seconds",
+            "simulated_seconds",
+            "throughput",
         }, scenario
         assert all(
             isinstance(value, float) and math.isfinite(value) and value > 0
@@ -127,14 +138,18 @@ def test_bench5_written_with_schema(bench):
 
 
 def test_wallclock_numbers_are_sane(bench):
-    print("\n=== BENCH_5 (wall-clock perf) ===")
+    print("\n=== BENCH_7 (wall-clock perf) ===")
     for scenario, row in sorted(bench.items()):
-        print(f"  {scenario:28s} wall={row['wall_seconds']:.2f}s "
-              f"simulated={row['simulated_seconds']:.3f}s "
-              f"throughput={row['throughput']:.3g}/s")
+        print(
+            f"  {scenario:28s} wall={row['wall_seconds']:.2f}s "
+            f"simulated={row['simulated_seconds']:.3f}s "
+            f"throughput={row['throughput']:.3g}/s"
+        )
     # overlap must pay off in simulated time without exploding wall time
-    assert bench["ssb_fig5_gpu"]["simulated_seconds"] < \
-        bench["ssb_fig5_gpu_overlap_off"]["simulated_seconds"]
+    assert (
+        bench["ssb_fig5_gpu"]["simulated_seconds"]
+        < bench["ssb_fig5_gpu_overlap_off"]["simulated_seconds"]
+    )
     # a default-tier drive that takes minutes of wall time would make
     # the fast tier unusable — keep a generous ceiling as a tripwire
     assert bench["ssb_fig5_gpu"]["wall_seconds"] < 120

@@ -40,7 +40,7 @@ from .engine.scheduler import EngineServer, ResourceBudget
 from .hardware.specs import PAPER_SERVER, ServerSpec
 from .jit.cache import SharedCacheDirectory
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Proteus",

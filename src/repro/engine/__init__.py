@@ -29,7 +29,13 @@ Correctness for every tier is anchored by
 NumPy interpreter used as the differential-testing oracle.
 """
 
-from .config import CachePolicy, ElasticPolicy, ExecutionConfig, QoS
+from .config import (
+    CachePolicy,
+    ElasticPolicy,
+    ExecutionConfig,
+    MetricsPolicy,
+    QoS,
+)
 from .executor import Executor, QueryError, RawExecution
 from .faults import (
     DeviceLossFault,
@@ -42,8 +48,10 @@ from .faults import (
     TransferTimeout,
     classify_failure,
 )
+from .metrics import MetricsPump, MetricsRegistry
 from .proteus import Proteus
 from .results import ExecutionProfile, QueryResult
+from .tenancy import DeficitRoundRobin, RateLimit, Tenant, TokenBucket
 from .scheduler import (
     AdmissionError,
     BatchReport,
@@ -57,7 +65,14 @@ __all__ = [
     "CachePolicy",
     "ElasticPolicy",
     "ExecutionConfig",
+    "MetricsPolicy",
     "QoS",
+    "Tenant",
+    "RateLimit",
+    "TokenBucket",
+    "DeficitRoundRobin",
+    "MetricsRegistry",
+    "MetricsPump",
     "Executor",
     "QueryError",
     "RawExecution",

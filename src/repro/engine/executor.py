@@ -144,6 +144,9 @@ class PlanCompilation:
     compiler: "PipelineCompiler"
     pipelines: dict[int, "CompiledPipeline"]
     missing: list
+    #: tenant the compilation is attributed to in the cache's
+    #: per-tenant accounting (None = untenanted)
+    tenant: Optional[str] = None
 
     @property
     def fresh_count(self) -> int:
@@ -179,6 +182,7 @@ class PlanCompilation:
                     pipeline = self.compiler.cache.put(
                         key, pipeline,
                         cost=self.compiler.compile_cost(stage),
+                        tenant=self.tenant,
                     )
             self.pipelines[stage.stage_id] = pipeline
         self.missing = []
@@ -250,7 +254,9 @@ class Executor:
             if not stage.is_source
         }
 
-    def begin_compilation(self, plan: HetPlan) -> "PlanCompilation":
+    def begin_compilation(
+        self, plan: HetPlan, tenant: Optional[str] = None
+    ) -> "PlanCompilation":
         """Two-phase compilation for schedulers charging compile latency.
 
         Cache-resident pipelines are fetched (and thereby pinned — a
@@ -272,12 +278,12 @@ class Executor:
             if self.pipeline_cache is not None:
                 key = stage_signature(stage, compiler.width)
                 if key is not None:
-                    cached = self.pipeline_cache.get(key)
+                    cached = self.pipeline_cache.get(key, tenant=tenant)
             if cached is not None:
                 resident[stage.stage_id] = cached
             else:
                 missing.append(stage)
-        return PlanCompilation(compiler, resident, missing)
+        return PlanCompilation(compiler, resident, missing, tenant=tenant)
 
     def execute(self, plan: HetPlan, config: ExecutionConfig,
                 query_id: str = "q0") -> RawExecution:

@@ -1,0 +1,384 @@
+"""Live observability: a Prometheus-style metrics surface for the engine.
+
+A service is only operable if its behaviour is visible without attaching
+a debugger; this module gives the serving stack that surface:
+
+* :class:`MetricsRegistry` — named metric families (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`) with label support, a
+  Prometheus-text exposition dump (:meth:`MetricsRegistry.render_text`)
+  and a machine-readable JSON snapshot (:meth:`MetricsRegistry.snapshot`).
+  Counters additionally support :meth:`Counter.sync` — folding an
+  externally maintained monotone total (the pipeline cache's lifetime
+  :class:`~repro.jit.cache.CacheStats`, the fault injector's fired-fault
+  counts) into the family without double counting.
+* :class:`MetricsPump` — the off-hot-path sampler.  Hot paths never
+  touch the registry directly: they :meth:`~MetricsPump.emit` a raw
+  event (an O(1) queue append) and a dedicated DES process drains the
+  queue into the registry at ``sample_interval`` simulated seconds,
+  coalescing bursts and taking the periodic gauge samples (resource
+  utilization, budget in-use) while it is awake.  The pump parks on a
+  wakeup event when the queue is empty, so a drained simulator still
+  terminates — the same idle-parking contract the scheduler's admission
+  pump follows.  :meth:`MetricsPump.drain` is also called synchronously
+  at the end of every drive, so per-drive snapshots are complete and
+  deterministic regardless of where the sampling windows fell.
+
+The scheduler owns the folding logic (which event kinds increment which
+families); this module knows only metrics, queues and exposition.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsPump",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: histogram buckets for simulated-latency observations (seconds);
+#: +Inf is implicit
+DEFAULT_LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(family: "_MetricFamily", labels: dict[str, object]) -> tuple[str, ...]:
+    if set(labels) != set(family.label_names):
+        raise ValueError(
+            f"metric {family.name} takes labels {family.label_names}, "
+            f"got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in family.label_names)
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in zip(names, values))
+    return "{" + inner + "}"
+
+
+class _MetricFamily:
+    """Shared mechanics: naming, labels, children keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _child(self, labels: dict[str, object], default):
+        key = _label_key(self, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = default()
+        return key, child
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+    def header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_MetricFamily):
+    """Monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError("counters only increase; inc() needs value >= 0")
+        key, _ = self._child(labels, float)
+        self._children[key] += value
+
+    def sync(self, total: float, **labels) -> None:
+        """Fold an externally maintained monotone total into this family.
+
+        Increments by the delta against the last synced total, so
+        repeated syncs against a lifetime counter (cache stats, fault
+        counts) never double count.  A total that went *backwards*
+        (source reset) re-bases without decrementing — the exposed
+        counter stays monotone, which is the Prometheus contract.
+        """
+        key, _ = self._child(labels, float)
+        last = self._synced.setdefault(key, 0.0)
+        if total > last:
+            self._children[key] += total - last
+        self._synced[key] = total
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        super().__init__(name, help, label_names)
+        self._synced: dict[tuple[str, ...], float] = {}
+
+    def value(self, **labels) -> float:
+        return self._children.get(_label_key(self, labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        for key, value in self._sorted_children():
+            lines.append(
+                f"{self.name}{_render_labels(self.label_names, key)} {value:g}"
+            )
+        return lines
+
+    def snapshot_values(self) -> dict:
+        return {
+            _render_labels(self.label_names, key) or "": value
+            for key, value in self._sorted_children()
+        }
+
+
+class Gauge(_MetricFamily):
+    """A value that goes up and down (per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key, _ = self._child(labels, float)
+        self._children[key] = float(value)
+
+    def value(self, **labels) -> float:
+        return self._children.get(_label_key(self, labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        for key, value in self._sorted_children():
+            lines.append(
+                f"{self.name}{_render_labels(self.label_names, key)} {value:g}"
+            )
+        return lines
+
+    def snapshot_values(self) -> dict:
+        return {
+            _render_labels(self.label_names, key) or "": value
+            for key, value in self._sorted_children()
+        }
+
+
+class _HistogramChild:
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +Inf is the last slot
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Histogram(_MetricFamily):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, label_names)
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered or any(not math.isfinite(b) for b in ordered):
+            raise ValueError("buckets must be a non-empty finite sequence")
+        self.buckets = ordered
+
+    def observe(self, value: float, **labels) -> None:
+        _, child = self._child(labels, lambda: _HistogramChild(self.buckets))
+        child.observe(float(value))
+
+    def child(self, **labels) -> _HistogramChild:
+        _, child = self._child(labels, lambda: _HistogramChild(self.buckets))
+        return child
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        for key, child in self._sorted_children():
+            cumulative = 0
+            for bound, count in zip(child.buckets, child.counts):
+                cumulative += count
+                labels = _render_labels((*self.label_names, "le"), (*key, f"{bound:g}"))
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += child.counts[-1]
+            labels = _render_labels((*self.label_names, "le"), (*key, "+Inf"))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            plain = _render_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {child.sum:g}")
+            lines.append(f"{self.name}_count{plain} {child.count}")
+        return lines
+
+    def snapshot_values(self) -> dict:
+        out = {}
+        for key, child in self._sorted_children():
+            out[_render_labels(self.label_names, key) or ""] = {
+                "buckets": {
+                    f"{bound:g}": count
+                    for bound, count in zip(child.buckets, child.counts)
+                } | {"+Inf": child.counts[-1]},
+                "sum": child.sum,
+                "count": child.count,
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families; the engine's single observability surface.
+
+    Family constructors are idempotent: asking for an existing name
+    returns the existing family (and raises if the kind or label set
+    differs — two call sites silently feeding incompatible series is
+    exactly the bug a registry exists to prevent).
+    """
+
+    def __init__(self):
+        self._families: dict[str, _MetricFamily] = {}
+
+    def _register(self, cls, name, help, label_names, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.label_names != tuple(
+                label_names
+            ):
+                raise ValueError(
+                    f"metric {name} already registered as "
+                    f"{existing.kind}{existing.label_names}"
+                )
+            return existing
+        family = cls(name, help, label_names, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    def families(self) -> Iterable[_MetricFamily]:
+        return (self._families[name] for name in sorted(self._families))
+
+    def render_text(self) -> str:
+        """Prometheus text exposition of every family."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """Machine-readable snapshot: ``{name: {type, help, values}}``.
+
+        Histogram values carry per-bucket (non-cumulative) counts plus
+        ``sum``/``count``; counter and gauge values are flat numbers
+        keyed by their rendered label string.
+        """
+        return {
+            family.name: {
+                "type": family.kind,
+                "help": family.help,
+                "values": family.snapshot_values(),
+            }
+            for family in self.families()
+        }
+
+
+class MetricsPump:
+    """Async queue-drain sampler between hot paths and the registry.
+
+    ``emit`` is the only call a hot path makes: an append plus (at most)
+    one event trigger.  The drain side runs as a DES process owned by
+    whoever constructed the pump: it wakes when events arrive, sleeps
+    ``sample_interval`` simulated seconds to coalesce the burst, then
+    folds the queued events through ``fold`` and calls ``sample_gauges``
+    for the periodic point-in-time figures.  ``drain()`` runs the same
+    folding synchronously — the end-of-drive call that makes per-drive
+    snapshots complete.
+    """
+
+    def __init__(
+        self,
+        sim,
+        fold: Callable[[str, dict], None],
+        sample_gauges: Optional[Callable[[], None]] = None,
+        sample_interval: float = 0.25,
+    ):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sim = sim
+        self.fold = fold
+        self.sample_gauges = sample_gauges
+        self.sample_interval = sample_interval
+        self._queue: list[tuple[str, dict]] = []
+        self._wakeup = None
+        self._proc = None
+        #: drained-event count (tests assert the hot path stayed queued)
+        self.drained = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        """Queue one raw event; O(1) on the hot path."""
+        self._queue.append((kind, fields))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.trigger(None)
+
+    def drain(self) -> int:
+        """Fold every queued event now; returns how many were folded."""
+        events, self._queue = self._queue, []
+        for kind, fields in events:
+            self.fold(kind, fields)
+        if self.sample_gauges is not None:
+            self.sample_gauges()
+        self.drained += len(events)
+        return len(events)
+
+    def ensure_running(self) -> None:
+        """Start (or restart) the drain process on the simulator."""
+        if self._proc is None or self._proc.triggered:
+            self._proc = self.sim.process(self._run(), name="metrics-writer")
+
+    def _run(self):
+        while True:
+            if not self._queue:
+                self._wakeup = self.sim.event(name="metrics:wakeup")
+                yield self._wakeup
+                self._wakeup = None
+            # coalesce the burst: fold once per sampling window, not
+            # once per event
+            yield self.sim.timeout(self.sample_interval)
+            self.drain()

@@ -37,6 +37,7 @@ from ..storage.table import Placement, Table
 from .config import CachePolicy, ExecutionConfig
 from .collect import collect_result
 from .executor import Executor, RawExecution
+from .metrics import MetricsRegistry
 from .results import QueryResult
 
 __all__ = ["Proteus"]
@@ -112,10 +113,19 @@ class Proteus:
             else None
         )
         self.executor = Executor(
-            self.sim, self.server, self.catalog, self.blocks, self.cost,
+            self.sim,
+            self.server,
+            self.catalog,
+            self.blocks,
+            self.cost,
             logical_scale=logical_scale,
             pipeline_cache=self.pipeline_cache,
         )
+        #: the engine's observability surface; an EngineServer built on
+        #: this engine attaches its metric families here, so two servers
+        #: over one engine (or the facade's own callers) share one
+        #: registry
+        self.metrics = MetricsRegistry()
 
     # -- data -----------------------------------------------------------------
 

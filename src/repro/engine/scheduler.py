@@ -97,10 +97,19 @@ from ..hardware.costmodel import DEFAULT_COMPILE_SECONDS, QueryDemand
 from ..hardware.sim import Event
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
-from .config import ElasticPolicy, ExecutionConfig, QoS
+from .config import ElasticPolicy, ExecutionConfig, MetricsPolicy, QoS
 from .faults import FaultInjector, FaultPlan, RetryPolicy, classify_failure
+from .metrics import MetricsPump, MetricsRegistry
 from .proteus import Proteus
 from .results import QueryResult
+from .tenancy import (
+    DeficitRoundRobin,
+    RateLimit,
+    Tenant,
+    TenantState,
+    TokenBucket,
+    quota_capacities,
+)
 
 __all__ = [
     "EngineServer",
@@ -111,6 +120,8 @@ __all__ = [
     "SchedulerError",
     "FaultPlan",
     "RetryPolicy",
+    "RateLimit",
+    "Tenant",
     "DEFAULT_COMPILE_SECONDS",
 ]
 
@@ -405,9 +416,17 @@ class QuerySession:
     het: HetPlan
     demand: QueryDemand
     #: 'queued' -> 'running' [-> 'paused' -> 'running'] -> 'done'|'failed';
-    #: 'shed' is terminal-at-submission (bounded queue overflowed)
+    #: 'shed' is terminal-at-submission (bounded queue overflowed, or the
+    #: tenant's token bucket ran dry)
     status: str = "queued"
     qos: QoS = field(default_factory=QoS)
+    #: owning tenant's name (None = untenanted / implicit default tenant)
+    tenant: Optional[str] = None
+    #: why a shed session was shed: 'queue_full' | 'rate_limited'
+    shed_reason: Optional[str] = None
+    #: for rate-limited sheds: simulated seconds until the tenant's
+    #: bucket next holds a whole token (the client's back-off hint)
+    retry_after: Optional[float] = None
     #: times a lower-ranked session was admitted past this one while it
     #: sat blocked at the head (drives the anti-starvation barrier)
     bypassed: int = 0
@@ -597,6 +616,12 @@ class BatchReport:
     #: fired-fault counters + event log from the server's FaultInjector
     #: (empty when no FaultPlan is armed)
     faults: dict = field(default_factory=dict)
+    #: per-tenant rollup of this drive (counts, tail latencies, quota
+    #: budget peaks for capped tenants), keyed by tenant label
+    tenants: dict = field(default_factory=dict)
+    #: machine-readable metrics snapshot taken at the end of the drive
+    #: (:meth:`~repro.engine.metrics.MetricsRegistry.snapshot`)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[QuerySession]:
@@ -681,6 +706,13 @@ class BatchReport:
     def mean_latency(self) -> float:
         values = list(self.latencies.values())
         return sum(values) / len(values) if values else 0.0
+
+    def by_tenant(self) -> dict[str, list[QuerySession]]:
+        """Sessions grouped by tenant label (untenanted -> 'default')."""
+        groups: dict[str, list[QuerySession]] = {}
+        for session in self.sessions:
+            groups.setdefault(session.tenant or "default", []).append(session)
+        return groups
 
     def by_class(self) -> dict[str, list[QuerySession]]:
         """Sessions grouped by their QoS label, in priority order."""
@@ -775,6 +807,26 @@ class BatchReport:
                     f"{shared.get('size', 0)}/{shared.get('capacity', 0)} "
                     f"resident"
                 )
+        if len(self.tenants) > 1 or (
+            self.tenants and "default" not in self.tenants
+        ):
+            for label, record in sorted(self.tenants.items()):
+                parts = [
+                    f"tenant {label:12s}",
+                    f"w={record['weight']:g}",
+                    f"done={record['done']}",
+                    f"shed={record['shed']}",
+                ]
+                tail = record.get("latency")
+                if tail is not None:
+                    parts.append(f"p99={tail['p99']:.4f}s")
+                if "budget_peak" in record:
+                    peak = ", ".join(
+                        f"{dim}={value:g}/{record['budget_capacity'][dim]:g}"
+                        for dim, value in record["budget_peak"].items()
+                    )
+                    parts.append(f"quota-peak[{peak}]")
+                lines.append("  " + " ".join(parts))
         tails = self.latency_percentiles()
         hit_rates = self.deadline_hit_rates()
         for label, group in self.by_class().items():
@@ -845,6 +897,31 @@ class EngineServer:
       :class:`~repro.engine.config.ElasticPolicy`; pass ``elastic_policy``
       instead for the full knob set (mutually exclusive).
 
+    Tenancy knobs: ``tenants=[Tenant("acme", weight=2.0,
+    compute_quota=0.5, rate_limit=RateLimit(rate_qps=10))]`` registers
+    the tenants sharing the server; submissions then carry
+    ``tenant="acme"`` (untenanted traffic reports as the implicit
+    ``default`` tenant).  Admission interleaves per-tenant queues by
+    **deficit round-robin** under the QoS ladder (priority stays strict
+    across tenants; weights arbitrate within a priority band), quota
+    fractions cap the slice of the admission budget a tenant's in-flight
+    queries may hold — enforced through a per-tenant
+    :class:`ResourceBudget` mirror, so a saturating tenant is capped at
+    its share instead of starving the others — and a rate-limited
+    tenant's excess submissions are shed at the edge with a
+    ``retry_after`` hint.  A waiter blocked on its *own* tenant quota
+    never triggers preemption of other tenants' queries.
+
+    Observability: the server owns a
+    :class:`~repro.engine.metrics.MetricsRegistry` (pass ``metrics=`` to
+    share one across servers, ``metrics_policy=`` for sampling knobs).
+    Hot paths only ``emit`` raw events; a
+    :class:`~repro.engine.metrics.MetricsPump` DES process drains them
+    into the registry off the hot path, and every drive ends with a
+    synchronous drain so :attr:`BatchReport.metrics` is complete and
+    deterministic.  :meth:`metrics_text` renders the Prometheus text
+    exposition.
+
     Cache knobs travel with the engine: construct the server with
     ``cache_policy=CachePolicy(capacity, eviction="cost_aware", ...)``
     and/or ``shared_cache=SharedCacheDirectory(...)`` (forwarded to
@@ -880,6 +957,9 @@ class EngineServer:
         target_utilization: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tenants: Optional[Sequence[Tenant]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_policy: Optional[MetricsPolicy] = None,
         **engine_kwargs: Any,
     ):
         if max_concurrent < 1:
@@ -965,6 +1045,49 @@ class EngineServer:
         #: query id -> the driver's DES Process (spurious-abort target)
         self._driver_procs: dict[int, Any] = {}
         self.retry_policy = retry_policy
+        #: per-tenant runtime state; the None key is the implicit
+        #: "default" tenant untenanted submissions report under
+        self.tenant_states: dict[Optional[str], TenantState] = {
+            None: TenantState(tenant=Tenant("default"))
+        }
+        self._tenant_order: list[str] = []
+        for tenant in tenants or ():
+            if tenant.name == "default":
+                raise ValueError(
+                    "tenant name 'default' is reserved for untenanted "
+                    "traffic"
+                )
+            if tenant.name in self.tenant_states:
+                raise ValueError(f"duplicate tenant {tenant.name!r}")
+            state = TenantState(tenant=tenant)
+            caps = quota_capacities(tenant, self.budget.capacity)
+            if caps:
+                state.budget = ResourceBudget(**caps)
+            if tenant.rate_limit is not None:
+                state.bucket = TokenBucket(tenant.rate_limit, now=self.sim.now)
+            self.tenant_states[tenant.name] = state
+            self._tenant_order.append(tenant.name)
+        self._drr = DeficitRoundRobin()
+        self.metrics_policy = metrics_policy or MetricsPolicy()
+        #: the engine facade's registry by default, so two servers over
+        #: one engine share a surface; pass metrics= to override
+        self.metrics: MetricsRegistry = (
+            metrics
+            or getattr(self.engine, "metrics", None)
+            or MetricsRegistry()
+        )
+        self._metric_families()
+        # the metrics gauges sample their own utilization monitor so the
+        # pump's window closures never perturb the elastic controller's
+        self._metrics_monitor = _UtilizationMonitor(
+            self.sim, self.server, elastic_policy.window_seconds
+        )
+        self._pump = MetricsPump(
+            self.sim,
+            self._fold_metric,
+            sample_gauges=self._sample_gauges,
+            sample_interval=self.metrics_policy.sample_interval_seconds,
+        )
         #: armed fault injector, or None when the drive is fault-free
         self.faults: Optional[FaultInjector] = (
             FaultInjector(self.sim, self.server, fault_plan)
@@ -978,6 +1101,185 @@ class EngineServer:
     @property
     def _running(self) -> int:
         return len(self._active_sessions)
+
+    # -- tenancy -----------------------------------------------------------
+
+    @staticmethod
+    def _tenant_label(name: Optional[str]) -> str:
+        return name if name is not None else "default"
+
+    def _state_for(self, name: Optional[str]) -> TenantState:
+        try:
+            return self.tenant_states[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown tenant {name!r}; construct the server with "
+                f"tenants=[Tenant({name!r}, ...)]"
+            ) from None
+
+    def _tenant_budget_of(
+        self, session: QuerySession
+    ) -> Optional[ResourceBudget]:
+        return self.tenant_states[session.tenant].budget
+
+    def _fits_budgets(self, session: QuerySession, need: QueryDemand) -> bool:
+        """Admission fit against the shared budget AND the session's
+        tenant quota mirror (when the tenant is capped)."""
+        if not self.budget.fits(need):
+            return False
+        tenant_budget = self._tenant_budget_of(session)
+        return tenant_budget is None or tenant_budget.fits(need)
+
+    def _unblocks(
+        self,
+        blocked: QuerySession,
+        need: QueryDemand,
+        releases: Sequence[tuple[QuerySession, QueryDemand]],
+    ) -> bool:
+        """Would pausing ``releases`` let ``blocked`` be admitted?
+
+        Checked against both budgets: only *same-tenant* victims free
+        quota in the blocked session's tenant mirror, so a waiter
+        blocked on its own quota never justifies pausing other tenants'
+        queries (that would punch through the isolation wall).
+        """
+        if not self.budget.fits_with_release(
+            need, [demand for _, demand in releases]
+        ):
+            return False
+        tenant_budget = self._tenant_budget_of(blocked)
+        if tenant_budget is None:
+            return True
+        return tenant_budget.fits_with_release(
+            need,
+            [
+                demand for victim, demand in releases
+                if victim.tenant == blocked.tenant
+            ],
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    def _metric_families(self) -> None:
+        """Create (or re-attach to) every metric family up front, so the
+        exposition's schema is stable from the first scrape — families
+        exist with zero values before any traffic arrives."""
+        registry = self.metrics
+        buckets = self.metrics_policy.latency_buckets
+        self._m_sessions = registry.counter(
+            "repro_sessions_total",
+            "Sessions reaching a terminal state",
+            labels=("tenant", "qos_class", "status"),
+        )
+        self._m_latency = registry.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end simulated latency of completed queries",
+            labels=("tenant",), buckets=buckets,
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_queue_wait_seconds",
+            "Simulated queueing delay from submission to admission",
+            labels=("tenant",), buckets=buckets,
+        )
+        self._m_preemptions = registry.counter(
+            "repro_preemptions_total", "Phase-boundary preemptions"
+        )
+        self._m_resizes = registry.counter(
+            "repro_resizes_total", "Elastic-dop worker-set resizes"
+        )
+        self._m_retries = registry.counter(
+            "repro_retries_total",
+            "Retry round-trips by typed failure class",
+            labels=("failure_class",),
+        )
+        self._m_shed = registry.counter(
+            "repro_shed_total",
+            "Sessions shed at submission",
+            labels=("tenant", "reason"),
+        )
+        self._m_cache = registry.counter(
+            "repro_cache_events_total",
+            "Pipeline-cache lifetime events",
+            labels=("event",),
+        )
+        self._m_faults = registry.counter(
+            "repro_faults_total", "Injected faults fired", labels=("kind",)
+        )
+        self._m_util = registry.gauge(
+            "repro_resource_utilization",
+            "Closed-window utilization per shared DES resource",
+            labels=("resource",),
+        )
+        self._m_budget = registry.gauge(
+            "repro_budget_in_use",
+            "Admission budget currently charged, per dimension",
+            labels=("dimension",),
+        )
+        self._m_tenant_budget = registry.gauge(
+            "repro_tenant_budget_in_use",
+            "Per-tenant quota budget currently charged (capped "
+            "dimensions only)",
+            labels=("tenant", "dimension"),
+        )
+        self._m_drives = registry.counter(
+            "repro_drives_total", "Completed EngineServer.run() drives"
+        )
+
+    def _fold_metric(self, kind: str, fields: dict) -> None:
+        """Fold one queued raw event into the registry (pump drain side)."""
+        if kind == "session":
+            self._m_sessions.inc(
+                tenant=fields["tenant"],
+                qos_class=fields["qos_class"],
+                status=fields["status"],
+            )
+            if fields["status"] == "done" and fields["latency"] is not None:
+                self._m_latency.observe(
+                    fields["latency"], tenant=fields["tenant"]
+                )
+            if fields.get("queue_wait") is not None:
+                self._m_queue_wait.observe(
+                    fields["queue_wait"], tenant=fields["tenant"]
+                )
+        elif kind == "shed":
+            self._m_shed.inc(tenant=fields["tenant"], reason=fields["reason"])
+        elif kind == "preemption":
+            self._m_preemptions.inc()
+        elif kind == "resize":
+            self._m_resizes.inc()
+        elif kind == "retry":
+            self._m_retries.inc(failure_class=fields["failure_class"])
+
+    def _sample_gauges(self) -> None:
+        """Point-in-time gauges + lifetime-counter syncs (pump drain side)."""
+        for resource, value in self._metrics_monitor.sample().items():
+            self._m_util.set(value, resource=resource)
+        for dim in DIMENSIONS:
+            self._m_budget.set(self.budget.in_use[dim], dimension=dim)
+        for state in self.tenant_states.values():
+            if state.budget is None:
+                continue
+            for dim in DIMENSIONS:
+                if math.isfinite(state.budget.capacity[dim]):
+                    self._m_tenant_budget.set(
+                        state.budget.in_use[dim],
+                        tenant=state.name, dimension=dim,
+                    )
+        cache = self.executor.pipeline_cache
+        if cache is not None:
+            snap = cache.snapshot()
+            for event in ("hits", "misses", "insertions", "evictions",
+                          "shared_hits"):
+                if event in snap:
+                    self._m_cache.sync(snap[event], event=event)
+        if self.faults is not None:
+            fired = self.faults.snapshot()
+            for kind in ("device_losses", "stragglers", "spurious_aborts"):
+                self._m_faults.sync(fired.get(kind, 0), kind=kind)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the live metrics surface."""
+        return self.metrics.render_text()
 
     # -- data plane (delegates to the shared engine) -----------------------
 
@@ -1003,6 +1305,7 @@ class EngineServer:
         qos: Optional[QoS] = None,
         priority: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> QuerySession:
         """Queue a query for admission; callable before or during a run.
 
@@ -1017,6 +1320,14 @@ class EngineServer:
         the admission queue is bounded and full, the session is **shed**:
         returned with status ``"shed"``, its ``done`` event triggered,
         holding no resources.
+
+        ``tenant`` names a registered :class:`Tenant` (raises on an
+        unknown name).  A rate-limited tenant's submission that finds no
+        whole token is shed at the edge — ``shed_reason ==
+        "rate_limited"`` with a ``retry_after`` back-off hint — before
+        it occupies queue space; a capped tenant's query whose demand
+        could never fit the tenant's quota slice raises
+        :class:`AdmissionError` just like one that exceeds the server.
         """
         if qos is not None and (priority is not None or deadline_seconds is not None):
             raise ValueError(
@@ -1028,12 +1339,19 @@ class EngineServer:
                 deadline_seconds=deadline_seconds,
                 label=f"priority{priority:+d}" if priority else "batch",
             )
+        state = self._state_for(tenant)
+        state.submitted += 1
         het = self.placer.place(plan, config)
         demand = self._estimate_demand(het, config, qos)
         if not self.budget.can_ever_fit(demand):
             raise AdmissionError(
                 f"query demand {demand.as_dict()} exceeds server budget "
                 f"{self.budget.capacity}"
+            )
+        if state.budget is not None and not state.budget.can_ever_fit(demand):
+            raise AdmissionError(
+                f"query demand {demand.as_dict()} exceeds tenant "
+                f"{state.name!r} quota {state.budget.capacity}"
             )
         now = self.sim.now
         session = QuerySession(
@@ -1045,6 +1363,7 @@ class EngineServer:
             het=het,
             demand=demand,
             qos=qos,
+            tenant=tenant,
             submit_time=now,
             deadline=(
                 now + demand.deadline_seconds
@@ -1055,32 +1374,58 @@ class EngineServer:
         )
         self._next_id += 1
         self.sessions.append(session)
+        if state.bucket is not None:
+            retry_after = state.bucket.take(now)
+            if retry_after is not None:
+                state.shed_rate_limited += 1
+                return self._shed(session, "rate_limited", retry_after)
         if (
             self.max_queue_depth is not None
             and len(self._pending) >= self.max_queue_depth
         ):
-            session.status = "shed"
-            session.finish_time = now
-            session.done.trigger(session)
-            return session
+            state.shed_queue_full += 1
+            return self._shed(session, "queue_full")
         self._pending.append(session)
         self._wake_admission()
+        return session
+
+    def _shed(
+        self,
+        session: QuerySession,
+        reason: str,
+        retry_after: Optional[float] = None,
+    ) -> QuerySession:
+        """Refuse a submission at the edge (terminal, holds nothing)."""
+        session.status = "shed"
+        session.shed_reason = reason
+        session.retry_after = retry_after
+        session.finish_time = self.sim.now
+        label = self._tenant_label(session.tenant)
+        self._pump.emit("shed", tenant=label, reason=reason)
+        self._pump.emit(
+            "session", tenant=label, qos_class=session.label,
+            status="shed", latency=None, queue_wait=None,
+        )
+        session.done.trigger(session)
         return session
 
     def submit_batch(
         self, items: Sequence[tuple[Plan, ExecutionConfig]],
         names: Optional[Sequence[str]] = None,
         qos: Optional[QoS] = None,
+        tenant: Optional[str] = None,
     ) -> list[QuerySession]:
         return [
             self.submit(plan, config,
-                        name=names[i] if names else None, qos=qos)
+                        name=names[i] if names else None, qos=qos,
+                        tenant=tenant)
             for i, (plan, config) in enumerate(items)
         ]
 
     def spawn_client(self, plans: Sequence[Plan], config: ExecutionConfig,
                      think_seconds: float = 0.0, name: str = "client",
-                     qos: Optional[QoS] = None):
+                     qos: Optional[QoS] = None,
+                     tenant: Optional[str] = None):
         """Closed-loop client: submit, await completion, think, repeat.
 
         A client that dies mid-loop (e.g. a later plan is rejected by
@@ -1092,7 +1437,7 @@ class EngineServer:
         def client():
             for index, plan in enumerate(plans):
                 session = self.submit(plan, config, name=f"{name}-{index}",
-                                      qos=qos)
+                                      qos=qos, tenant=tenant)
                 yield session.done
                 if think_seconds:
                     yield self.sim.timeout(think_seconds)
@@ -1111,6 +1456,7 @@ class EngineServer:
         seed: int = 0,
         qos: Optional[QoS] = None,
         name: str = "open",
+        tenant: Optional[str] = None,
     ):
         """Open-loop Poisson arrival generator (deterministic per seed).
 
@@ -1135,7 +1481,7 @@ class EngineServer:
                 yield self.sim.timeout(rng.expovariate(rate_qps))
                 self.submit(
                     plans[index % len(plans)], config,
-                    name=f"{name}-{index}", qos=qos,
+                    name=f"{name}-{index}", qos=qos, tenant=tenant,
                 )
 
         proc = self.sim.process(generator(), name=f"open:{name}")
@@ -1154,6 +1500,7 @@ class EngineServer:
         never skews the next one's makespan or throughput.
         """
         self._ensure_admission()
+        self._pump.ensure_running()
         if self.faults is not None:
             self.faults.arm()
         self.sim.run()
@@ -1202,8 +1549,33 @@ class EngineServer:
 
     def _waiting(self) -> list[QuerySession]:
         """Queued + paused sessions in admission order (paused sessions
-        re-enter the same priority queue to be resumed)."""
-        return sorted(self._pending + self._paused, key=self._rank)
+        re-enter the same priority queue to be resumed).
+
+        With registered tenants and SLA admission, the per-tenant queues
+        are merged by weighted deficit round-robin: among deficit-
+        eligible tenants the one with the highest-priority head goes
+        first, so the QoS ladder stays strict across tenants and the
+        weights arbitrate within a priority band.  FIFO mode keeps pure
+        submission order — tenancy there is accounting only.
+        """
+        waiting = sorted(self._pending + self._paused, key=self._rank)
+        if self.admission == "fifo" or len(self.tenant_states) <= 1:
+            return waiting
+        queues: dict[str, list[QuerySession]] = {}
+        for session in waiting:
+            queues.setdefault(
+                self._tenant_label(session.tenant), []
+            ).append(session)
+        if len(queues) <= 1:
+            return waiting
+        order = ["default", *self._tenant_order]
+        weights = {
+            self._tenant_label(key): state.tenant.weight
+            for key, state in self.tenant_states.items()
+        }
+        return self._drr.interleave(
+            queues, weights, order, lambda s: s.priority
+        )
 
     @staticmethod
     def _admission_need(session: QuerySession) -> QueryDemand:
@@ -1240,7 +1612,7 @@ class EngineServer:
             for session in self._waiting():
                 if self._running >= self.max_concurrent:
                     break
-                if self.budget.fits(self._admission_need(session)):
+                if self._fits_budgets(session, self._admission_need(session)):
                     if campaign and blocked_head is not None:
                         # freed compute is reserved for the campaign's
                         # blocked waiter; handing it to anything ranked
@@ -1269,7 +1641,14 @@ class EngineServer:
 
     def _activate(self, session: QuerySession) -> None:
         """Start a queued session or resume a paused one."""
-        self.budget.allocate(self._admission_need(session))
+        need = self._admission_need(session)
+        self.budget.allocate(need)
+        tenant_budget = self._tenant_budget_of(session)
+        if tenant_budget is not None:
+            tenant_budget.allocate(need)
+        self._charge_drr(session)
+        if session.status != "paused":
+            self.tenant_states[session.tenant].admitted += 1
         session.held_demand = session.demand
         session.holds_budget = True
         self._active_sessions[session.query_id] = session
@@ -1301,12 +1680,29 @@ class EngineServer:
             driver, name=f"{session.tag}:driver"
         )
 
+    def _charge_drr(self, session: QuerySession) -> None:
+        """Spend one DRR unit for an actual admission; the still-waiting
+        tenants' deficits replenish by weight until someone is eligible."""
+        if len(self.tenant_states) <= 1:
+            return
+        backlog: dict[str, float] = {}
+        for other in self._pending + self._paused:
+            if other is session:
+                continue
+            backlog[self._tenant_label(other.tenant)] = (
+                self.tenant_states[other.tenant].tenant.weight
+            )
+        self._drr.charge(self._tenant_label(session.tenant), backlog)
+
     def _release(self, session: QuerySession) -> None:
         """Give back whatever the session still holds (terminal state)."""
         held, session.held_demand = session.held_demand, None
         session.holds_budget = False
         self._active_sessions.pop(session.query_id, None)
         self.budget.release(held)
+        tenant_budget = self._tenant_budget_of(session)
+        if tenant_budget is not None:
+            tenant_budget.release(held)
 
     def _preemptable(self, session: QuerySession) -> bool:
         """Can this running session still honour a preemption request?
@@ -1342,18 +1738,24 @@ class EngineServer:
             s for s in self._active_sessions.values()
             if s.preempt_requested and self._preemptable(s)
         ]
-        pending_release = [_compute_share(s.demand) for s in pending]
+        pending_release = [(s, _compute_share(s.demand)) for s in pending]
         free_slots = self.max_concurrent - self._running + len(pending)
-        if free_slots >= 1 and self.budget.fits_with_release(
-            need, pending_release
-        ):
+        if free_slots >= 1 and self._unblocks(blocked, need, pending_release):
             return  # already-requested preemptions will unblock it
+        # a waiter blocked on its own tenant quota may only preempt
+        # same-tenant victims — pausing other tenants' queries would
+        # let one tenant's pressure punch through the isolation wall
+        tenant_budget = self._tenant_budget_of(blocked)
+        tenant_blocked = (
+            tenant_budget is not None and not tenant_budget.fits(need)
+        )
         victims = sorted(
             (
                 s for s in self._active_sessions.values()
                 if s.priority < blocked.priority
                 and not s.preempt_requested
                 and self._preemptable(s)
+                and (not tenant_blocked or s.tenant == blocked.tenant)
             ),
             key=lambda s: (s.priority, -(s.admit_time or 0.0), -s.query_id),
         )
@@ -1361,10 +1763,10 @@ class EngineServer:
         releases = list(pending_release)
         for victim in victims:
             chosen.append(victim)
-            releases.append(_compute_share(victim.demand))
+            releases.append((victim, _compute_share(victim.demand)))
             if (
                 free_slots + len(chosen) >= 1
-                and self.budget.fits_with_release(need, releases)
+                and self._unblocks(blocked, need, releases)
             ):
                 for session in chosen:
                     session.preempt_requested = True
@@ -1391,9 +1793,14 @@ class EngineServer:
             session.status = "paused"
             session.preemptions += 1
             session.pause_started = self.sim.now
+            self._pump.emit("preemption")
             # compute share back to the pool; memory stays charged for
             # the hash tables resident in the suspended generator
-            self.budget.release(_compute_share(session.demand))
+            compute = _compute_share(session.demand)
+            self.budget.release(compute)
+            tenant_budget = self._tenant_budget_of(session)
+            if tenant_budget is not None:
+                tenant_budget.release(compute)
             session.held_demand = _memory_share(session.demand)
             self._active_sessions.pop(session.query_id, None)
             session.resume_event = self.sim.event(
@@ -1463,6 +1870,13 @@ class EngineServer:
             ):
                 return None
             target = min(hi, dop * 2, dop + int(self._grow_room()))
+            tenant_budget = self._tenant_budget_of(session)
+            if tenant_budget is not None:
+                # growth is bounded by the tenant's quota headroom too,
+                # or an elastic tenant could creep past its capped share
+                room = tenant_budget.headroom()["cpu_cores"]
+                if math.isfinite(room):
+                    target = min(target, dop + int(room))
             if dram > 0.0:
                 # Predictive cap: growing multiplies the query's
                 # streaming demand roughly by new/old dop — grow only to
@@ -1498,10 +1912,16 @@ class EngineServer:
         if target is None or target == config.cpu_workers:
             return None
         delta = target - config.cpu_workers
+        tenant_budget = self._tenant_budget_of(session)
         if delta > 0:
             self.budget.allocate(QueryDemand(cpu_cores=delta))
+            if tenant_budget is not None:
+                tenant_budget.allocate(QueryDemand(cpu_cores=delta))
         else:
             self.budget.release(QueryDemand(cpu_cores=-delta))
+            if tenant_budget is not None:
+                tenant_budget.release(QueryDemand(cpu_cores=-delta))
+        self._pump.emit("resize")
         new_config = config.derive(cpu_workers=target)
         affinity = self.placer.cpu_affinity(new_config)
         session.current_config = new_config
@@ -1536,7 +1956,9 @@ class EngineServer:
                     # elapsed, so a concurrently admitted identical query
                     # pays for its own compilation instead of free-riding
                     # on an unfinished one.
-                    compilation = self.executor.begin_compilation(session.het)
+                    compilation = self.executor.begin_compilation(
+                        session.het, tenant=session.tenant
+                    )
                     session.compiled_fresh += compilation.fresh_count
                     if compilation.fresh_count and self.compile_seconds:
                         # per-device, per-complexity pricing: a GPU
@@ -1572,6 +1994,7 @@ class EngineServer:
                         session.error_class = label
                         break
                     session.retried_classes.append(label)
+                    self._pump.emit("retry", failure_class=label)
                     yield from self._requeue_for_retry(session, retry)
         finally:
             session.preempt_requested = False
@@ -1587,6 +2010,14 @@ class EngineServer:
                 self._paused.remove(session)
             if session.holds_budget:
                 self._release(session)
+            self._pump.emit(
+                "session",
+                tenant=self._tenant_label(session.tenant),
+                qos_class=session.label,
+                status=session.status,
+                latency=session.latency,
+                queue_wait=session.queue_seconds,
+            )
             if session.done is not None and not session.done.triggered:
                 session.done.trigger(session)
             self._wake_admission()
@@ -1764,6 +2195,12 @@ class EngineServer:
         completed = sum(1 for s in finished if s.status == "done")
         throughput = completed / makespan if makespan > 0 else 0.0
         cache = self.executor.pipeline_cache
+        # close the metrics surface for this drive: fold whatever is
+        # still queued and take a final gauge sample, so the snapshot in
+        # the report is complete regardless of where the pump's sampling
+        # windows fell
+        self._m_drives.inc()
+        self._pump.drain()
         return BatchReport(
             sessions=finished,
             makespan=makespan,
@@ -1773,7 +2210,64 @@ class EngineServer:
             cache=cache.snapshot() if cache is not None else {},
             budget_peak=dict(self.budget.peak),
             faults=self.faults.snapshot() if self.faults is not None else {},
+            tenants=self._tenant_rollup(finished),
+            metrics=self.metrics.snapshot(),
         )
+
+    def _tenant_rollup(self, finished: list[QuerySession]) -> dict:
+        """Per-tenant drive rollup for :attr:`BatchReport.tenants`.
+
+        Session counts and latency percentiles cover *this* drive;
+        ``budget_peak``/``budget_capacity`` (capped tenants only) are
+        the quota mirror's lifetime figures, like the report's global
+        ``budget_peak``.
+        """
+        out: dict[str, dict] = {}
+        groups: dict[str, list[QuerySession]] = {}
+        for session in finished:
+            groups.setdefault(
+                self._tenant_label(session.tenant), []
+            ).append(session)
+        for key, state in self.tenant_states.items():
+            label = self._tenant_label(key)
+            sessions = groups.get(label, [])
+            if not sessions and not state.submitted:
+                continue  # never saw traffic: keep the rollup readable
+            record: dict[str, Any] = {
+                "weight": state.tenant.weight,
+                "done": sum(1 for s in sessions if s.status == "done"),
+                "failed": sum(1 for s in sessions if s.status == "failed"),
+                "shed": sum(1 for s in sessions if s.status == "shed"),
+                "shed_rate_limited": sum(
+                    1 for s in sessions if s.shed_reason == "rate_limited"
+                ),
+                "shed_queue_full": sum(
+                    1 for s in sessions if s.shed_reason == "queue_full"
+                ),
+                "preemptions": sum(s.preemptions for s in sessions),
+                "retries": sum(s.retries for s in sessions),
+            }
+            latencies = sorted(
+                s.latency for s in sessions if s.status == "done"
+            )
+            if latencies:
+                record["latency"] = {
+                    f"p{pct:g}": _percentile(latencies, pct)
+                    for pct in (50, 95, 99)
+                }
+            if state.budget is not None:
+                capped = {
+                    dim for dim in DIMENSIONS
+                    if math.isfinite(state.budget.capacity[dim])
+                }
+                record["budget_capacity"] = {
+                    dim: state.budget.capacity[dim] for dim in sorted(capped)
+                }
+                record["budget_peak"] = {
+                    dim: state.budget.peak[dim] for dim in sorted(capped)
+                }
+            out[label] = record
+        return out
 
     def check_conservation(self) -> dict[str, float]:
         """Assert resource accounting closed out; returns the totals.
@@ -1785,6 +2279,9 @@ class EngineServer:
         included).
         """
         self.budget.assert_conserved()
+        for state in self.tenant_states.values():
+            if state.budget is not None:
+                state.budget.assert_conserved()
         for node_id, manager in self.executor.memory_managers.items():
             if manager.live_handles:
                 raise AssertionError(

@@ -111,24 +111,35 @@ def _op_signature(op, width: Callable[[str], int]) -> Optional[tuple]:
         return ("project", tuple((alias, e.source(_var)) for alias, e in op.exprs))
     if isinstance(op, OpProbe):
         return (
-            "probe", op.ht_id, op.probe_key, tuple(op.payload),
+            "probe",
+            op.ht_id,
+            op.probe_key,
+            tuple(op.payload),
             tuple(width(p) for p in op.payload),
         )
     if isinstance(op, OpBuildSink):
         return (
-            "build", op.ht_id, op.build_key, tuple(op.payload),
+            "build",
+            op.ht_id,
+            op.build_key,
+            tuple(op.payload),
             tuple(width(p) for p in op.payload),
         )
     if isinstance(op, OpReduceSink):
-        return ("reduce", tuple((a.kind, a.alias, a.expr.source(_var)) for a in op.aggs))
+        aggs = tuple((a.kind, a.alias, a.expr.source(_var)) for a in op.aggs)
+        return ("reduce", aggs)
     if isinstance(op, OpGroupAggSink):
         return (
-            "groupagg", tuple(op.keys),
+            "groupagg",
+            tuple(op.keys),
             tuple((a.kind, a.alias, a.expr.source(_var)) for a in op.aggs),
         )
     if isinstance(op, OpHashPackSink):
         return (
-            "hashpack", op.key, op.partitions, tuple(op.columns),
+            "hashpack",
+            op.key,
+            op.partitions,
+            tuple(op.columns),
             tuple(width(c) for c in op.columns),
         )
     if isinstance(op, OpPackSink):
@@ -187,6 +198,9 @@ class _CacheEntry:
     #: the L1 cache that published this entry into a shared directory
     #: (None for L1-resident entries; identity drives cross-server stats)
     publisher: Optional[object] = None
+    #: the tenant whose query inserted this entry (None = untenanted);
+    #: evictions it suffers are reported against this tenant
+    tenant: Optional[str] = None
 
 
 class EvictionPolicy(Protocol):
@@ -304,6 +318,32 @@ class CacheStats:
     #: resident entries / configured bound (maintained by the cache)
     size: int = 0
     capacity: int = 0
+    #: per-tenant accounting: tenant name -> counter record (see
+    #: :meth:`tenant`); only tenanted traffic is recorded here
+    tenant_stats: dict = field(default_factory=dict)
+
+    #: the per-tenant counter schema (eviction *cause* is charged to the
+    #: tenant whose insertion forced the eviction; *suffered* to the
+    #: tenant whose entry was dropped)
+    TENANT_COUNTERS = (
+        "hits",
+        "misses",
+        "shared_hits",
+        "insertions",
+        "evictions_caused",
+        "evictions_suffered",
+    )
+
+    def tenant(self, name: str) -> dict:
+        """The (auto-created) counter record of one tenant."""
+        record = self.tenant_stats.get(name)
+        if record is None:
+            record = self.tenant_stats[name] = {key: 0 for key in self.TENANT_COUNTERS}
+        return record
+
+    def count_for(self, tenant: Optional[str], counter: str, by: int = 1) -> None:
+        if tenant is not None:
+            self.tenant(tenant)[counter] += by
 
     @property
     def lookups(self) -> int:
@@ -339,6 +379,10 @@ class CacheStats:
             "top_entries": [
                 {"entry": _entry_label(key), "hits": hits} for key, hits in top
             ],
+            "tenants": {
+                name: dict(record)
+                for name, record in sorted(self.tenant_stats.items())
+            },
         }
 
 
@@ -389,19 +433,26 @@ class _EntryTable:
         entry.hits += 1
         self.policy.touch(entry)
         self.stats.hits += 1
-        self.stats.entry_hits[entry.key] = (
-            self.stats.entry_hits.get(entry.key, 0) + 1
-        )
+        self.stats.entry_hits[entry.key] = self.stats.entry_hits.get(entry.key, 0) + 1
 
     def _insert(
-        self, key: Hashable, pipeline: CompiledPipeline,
-        cost: float, size: float, publisher: Optional[object] = None,
+        self,
+        key: Hashable,
+        pipeline: CompiledPipeline,
+        cost: float,
+        size: float,
+        publisher: Optional[object] = None,
+        tenant: Optional[str] = None,
     ) -> _CacheEntry:
         self._tick += 1
         entry = _CacheEntry(
-            key=key, pipeline=pipeline, cost=cost,
-            size=max(1.0, float(size)), last_used=self._tick,
+            key=key,
+            pipeline=pipeline,
+            cost=cost,
+            size=max(1.0, float(size)),
+            last_used=self._tick,
             publisher=publisher,
+            tenant=tenant,
         )
         self.policy.touch(entry)
         self._entries[key] = entry
@@ -416,6 +467,12 @@ class _EntryTable:
             del self._entries[victim.key]
             self.stats.entry_hits.pop(victim.key, None)
             self.stats.evictions += 1
+            # the eviction is charged to the tenant whose insertion
+            # forced it, and reported against the tenant who lost the
+            # entry — a noisy tenant's shapes show up as its own
+            # evictions_caused, not as mystery churn
+            self.stats.count_for(tenant, "evictions_caused")
+            self.stats.count_for(victim.tenant, "evictions_suffered")
             self.policy.on_evict(victim)
             self._evicted(victim)
         self.stats.size = len(self._entries)
@@ -457,25 +514,39 @@ class PipelineCache(_EntryTable):
         if shared is not None:
             shared.attach(self)
 
-    def get(self, key: Hashable) -> Optional[CompiledPipeline]:
+    def get(
+        self, key: Hashable, tenant: Optional[str] = None
+    ) -> Optional[CompiledPipeline]:
         """Look up a compiled pipeline; counts a hit, shared hit or miss.
 
         An L1 miss consults the attached directory; a directory hit is
         *promoted* — inserted into this cache (possibly demoting an L1
         victim back to the directory) — and counted as ``shared_hits``,
         never as a miss: the caller gets a pipeline without compiling.
+        ``tenant`` attributes the lookup in the per-tenant accounting.
         """
         entry = self._entries.get(key)
         if entry is not None:
             self._record_hit(entry)
+            self.stats.count_for(tenant, "hits")
             return entry.pipeline
         if self.shared is not None:
             fetched = self.shared.fetch(key, requester=self)
             if fetched is not None:
                 self.stats.shared_hits += 1
-                self._insert(key, fetched.pipeline, fetched.cost, fetched.size)
+                self.stats.count_for(tenant, "shared_hits")
+                # the promotion is the fetching tenant's insertion: any
+                # L1 eviction it forces is charged to that tenant
+                self._insert(
+                    key,
+                    fetched.pipeline,
+                    fetched.cost,
+                    fetched.size,
+                    tenant=tenant,
+                )
                 return fetched.pipeline
         self.stats.misses += 1
+        self.stats.count_for(tenant, "misses")
         return None
 
     def put(
@@ -484,6 +555,7 @@ class PipelineCache(_EntryTable):
         pipeline: CompiledPipeline,
         cost: Optional[float] = None,
         size: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> CompiledPipeline:
         """Insert a freshly compiled pipeline; returns the entry to USE.
 
@@ -506,9 +578,10 @@ class PipelineCache(_EntryTable):
         size = self._size_of(pipeline, size)
         if self.shared is not None:
             pipeline = self.shared.publish(
-                key, pipeline, cost, size, publisher=self
+                key, pipeline, cost, size, publisher=self, tenant=tenant
             )
-        self._insert(key, pipeline, cost, size)
+        self.stats.count_for(tenant, "insertions")
+        self._insert(key, pipeline, cost, size, tenant=tenant)
         return pipeline
 
     def snapshot(self, top_entries: Optional[int] = None) -> dict:
@@ -526,8 +599,13 @@ class PipelineCache(_EntryTable):
         # itself dropped it meanwhile).
         if self.shared is not None:
             self.shared.publish(
-                entry.key, entry.pipeline, entry.cost, entry.size,
-                publisher=self, demotion=True,
+                entry.key,
+                entry.pipeline,
+                entry.cost,
+                entry.size,
+                publisher=self,
+                demotion=True,
+                tenant=entry.tenant,
             )
 
 
@@ -582,6 +660,7 @@ class SharedCacheDirectory(_EntryTable):
         size: float,
         publisher: Optional[PipelineCache] = None,
         demotion: bool = False,
+        tenant: Optional[str] = None,
     ) -> CompiledPipeline:
         """First-writer-wins insert; returns the canonical pipeline.
 
@@ -595,7 +674,7 @@ class SharedCacheDirectory(_EntryTable):
             if not demotion:
                 self.stats.redundant_compiles += 1
             return resident.pipeline
-        self._insert(key, pipeline, cost, size, publisher=publisher)
+        self._insert(key, pipeline, cost, size, publisher=publisher, tenant=tenant)
         return pipeline
 
     def snapshot(self, top_entries: int = 5) -> dict:

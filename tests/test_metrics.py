@@ -1,0 +1,266 @@
+"""Metrics surface tests: registry semantics, pump, schema stability.
+
+Unit tests pin the Prometheus semantics (counter monotonicity including
+``sync`` re-basing, cumulative histogram buckets, text exposition
+format, registry idempotency).  The integration tests drive a real
+:class:`EngineServer` and assert the contracts an external scraper
+relies on: the snapshot's *exact* family set is stable across drives,
+every counter is monotone from one drive to the next, histogram bucket
+sums always equal their counts, and the hot path never folds events
+inline (the pump drains them).
+"""
+
+import pytest
+
+from repro import EngineServer, ExecutionConfig
+from repro.engine.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsPump,
+    MetricsRegistry,
+)
+from repro.engine.tenancy import Tenant
+from repro.hardware.sim import Simulator
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_ssb(scale_factor=0.005, seed=13)
+
+
+def _server(tables, **kwargs) -> EngineServer:
+    server = EngineServer(segment_rows=2048, **kwargs)
+    load_ssb(server.engine, tables=tables)
+    return server
+
+
+CPU4 = ExecutionConfig.cpu_only(4, block_tuples=4096)
+
+#: the stable exposition schema: every family the server registers,
+#: present from the first scrape onwards regardless of traffic
+EXPECTED_FAMILIES = {
+    "repro_sessions_total",
+    "repro_query_latency_seconds",
+    "repro_queue_wait_seconds",
+    "repro_preemptions_total",
+    "repro_resizes_total",
+    "repro_retries_total",
+    "repro_shed_total",
+    "repro_cache_events_total",
+    "repro_faults_total",
+    "repro_resource_utilization",
+    "repro_budget_in_use",
+    "repro_tenant_budget_in_use",
+    "repro_drives_total",
+}
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        counter = Counter("c_total", "help", ("status",))
+        counter.inc(status="ok")
+        counter.inc(2.0, status="ok")
+        counter.inc(status="err")
+        assert counter.value(status="ok") == 3.0
+        assert counter.value(status="err") == 1.0
+        assert counter.value(status="never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "", ())
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1.0)
+
+    def test_wrong_label_set_rejected(self):
+        counter = Counter("c_total", "", ("a",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(b="x")
+
+    def test_sync_folds_deltas_without_double_counting(self):
+        counter = Counter("c_total", "", ())
+        counter.sync(5.0)
+        counter.sync(5.0)
+        counter.sync(8.0)
+        assert counter.value() == 8.0
+        # a source reset re-bases without decrementing: still monotone
+        counter.sync(2.0)
+        assert counter.value() == 8.0
+        counter.sync(3.0)
+        assert counter.value() == 9.0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_in_exposition(self):
+        histogram = Histogram("h", "", (), buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = "\n".join(histogram.render())
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 3' in text
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_sum 6.05" in text
+        assert "h_count 4" in text
+
+    def test_snapshot_bucket_sum_equals_count(self):
+        histogram = Histogram("h", "", ("t",), buckets=DEFAULT_LATENCY_BUCKETS)
+        for index in range(17):
+            histogram.observe(0.001 * (index + 1) ** 3, t="x")
+        values = histogram.snapshot_values()['{t="x"}']
+        assert sum(values["buckets"].values()) == values["count"] == 17
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram("h", "", (), buckets=())
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram("h", "", (), buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_idempotent_families_and_kind_conflicts(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "h", labels=("a",))
+        assert registry.counter("x_total", "h", labels=("a",)) is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labels=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("9bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labels=("le gal",))
+
+    def test_render_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things").inc(2)
+        registry.gauge("b", "level", labels=("k",)).set(0.5, k="v")
+        text = registry.render_text()
+        assert "# HELP a_total things\n# TYPE a_total counter\na_total 2" in text
+        assert '# TYPE b gauge\nb{k="v"} 0.5' in text
+        assert text.endswith("\n")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things").inc()
+        snap = registry.snapshot()
+        assert snap == {
+            "a_total": {"type": "counter", "help": "things", "values": {"": 1.0}}
+        }
+
+
+class TestPump:
+    def test_emit_queues_and_drain_folds(self):
+        folded = []
+        sim = Simulator()
+        pump = MetricsPump(sim, lambda kind, fields: folded.append((kind, fields)))
+        pump.emit("a", x=1)
+        pump.emit("b")
+        assert folded == []  # hot path never folds inline
+        assert pump.drain() == 2
+        assert folded == [("a", {"x": 1}), ("b", {})]
+
+    def test_des_process_parks_idle_and_wakes_on_emit(self):
+        folded = []
+        sim = Simulator()
+        pump = MetricsPump(
+            sim,
+            lambda kind, fields: folded.append(kind),
+            sample_interval=0.25,
+        )
+        pump.ensure_running()
+
+        def producer():
+            yield sim.timeout(1.0)
+            pump.emit("tick")
+            yield sim.timeout(1.0)
+            pump.emit("tock")
+
+        sim.process(producer(), name="producer")
+        sim.run()  # terminates: the pump parks on an untriggered event
+        assert folded == ["tick", "tock"]
+        assert pump.drained == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            MetricsPump(Simulator(), lambda k, f: None, sample_interval=0.0)
+
+
+class TestServerMetricsSurface:
+    def test_schema_is_exact_and_stable_across_drives(self, tables):
+        server = _server(tables, tenants=[Tenant("acme")])
+        server.submit(ssb_query("Q1.1"), CPU4, tenant="acme")
+        first = server.run().metrics
+        assert set(first) == EXPECTED_FAMILIES
+        server.submit(ssb_query("Q2.1"), CPU4)
+        second = server.run().metrics
+        assert set(second) == EXPECTED_FAMILIES
+        for name, family in second.items():
+            assert family["type"] == first[name]["type"]
+
+    def test_counters_monotone_across_two_drives(self, tables):
+        server = _server(tables)
+        server.submit(ssb_query("Q1.1"), CPU4)
+        first = server.run().metrics
+        server.submit(ssb_query("Q1.1"), CPU4)
+        server.submit(ssb_query("Q3.1"), CPU4)
+        second = server.run().metrics
+        for name, family in second.items():
+            if family["type"] != "counter":
+                continue
+            before = first[name]["values"]
+            for labels, value in family["values"].items():
+                assert value >= before.get(labels, 0.0), (
+                    f"{name}{labels} went backwards"
+                )
+        assert (
+            second["repro_drives_total"]["values"][""]
+            == first["repro_drives_total"]["values"][""] + 1
+        )
+        done = '{tenant="default",qos_class="batch",status="done"}'
+        assert second["repro_sessions_total"]["values"][done] == 3.0
+
+    def test_histogram_bucket_sums_equal_counts(self, tables):
+        server = _server(tables, tenants=[Tenant("acme")])
+        for index in range(3):
+            server.submit(ssb_query("Q1.1"), CPU4, tenant="acme" if index % 2 else None)
+        snapshot = server.run().metrics
+        checked = 0
+        for family in snapshot.values():
+            if family["type"] != "histogram":
+                continue
+            for child in family["values"].values():
+                assert sum(child["buckets"].values()) == child["count"]
+                checked += 1
+        assert checked >= 2  # latency + queue-wait, per tenant label
+
+    def test_hot_path_stays_queued_until_pump_drains(self, tables):
+        server = _server(tables)
+        session = server.submit(ssb_query("Q1.1"), CPU4)
+        # submission-side sheds aside, nothing has been folded yet
+        assert server._pump.drained == 0
+        report = server.run()
+        assert session.status == "done"
+        assert server._pump.drained >= 1
+        latency = report.metrics["repro_query_latency_seconds"]["values"]
+        assert latency['{tenant="default"}']["count"] == 1
+
+    def test_text_exposition_of_live_server(self, tables):
+        server = _server(tables, tenants=[Tenant("acme")])
+        server.submit(ssb_query("Q1.1"), CPU4, tenant="acme")
+        server.run()
+        text = server.metrics_text()
+        assert "# TYPE repro_sessions_total counter" in text
+        assert (
+            'repro_sessions_total{tenant="acme",qos_class="batch",'
+            'status="done"} 1' in text
+        )
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'repro_query_latency_seconds_bucket{tenant="acme",le="+Inf"} 1' in text
+
+    def test_registry_shared_through_engine_facade(self, tables):
+        server = _server(tables)
+        assert server.metrics is server.engine.metrics
