@@ -1,0 +1,127 @@
+"""Committed-baseline support: make the gate blocking from day one.
+
+A baseline file records the findings that are *known and accepted* —
+either legacy debt scheduled for later, or patterns that are
+intentional and carry a ``reason``.  The gate then fails only on
+findings **not** in the baseline, so it can be enforced on every push
+without first driving the count to zero.
+
+Entries match findings by ``(rule, path, message)`` with a count —
+line numbers are deliberately excluded (they drift with every edit
+above the site).  ``python -m repro.analysis --write-baseline``
+regenerates the file from the current tree; hand-edit afterwards to
+attach a ``reason`` to entries that are intentional rather than debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed line-insensitively with counts."""
+
+    entries: Counter = field(default_factory=Counter)
+    reasons: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (fresh, baselined)."""
+        remaining = Counter(self.entries)
+        fresh: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sort_findings(findings):
+            if remaining[finding.key] > 0:
+                remaining[finding.key] -= 1
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, baselined
+
+    def stale_entries(self, findings: Iterable[Finding]) -> list[tuple]:
+        """Entries whose counted findings no longer all exist.
+
+        Stale entries are reported (so the baseline shrinks as debt is
+        paid down) but never fail the gate by themselves.
+        """
+        observed = Counter(finding.key for finding in findings)
+        stale = []
+        for key, count in sorted(self.entries.items()):
+            if observed[key] < count:
+                stale.append(key)
+        return stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    baseline = Baseline()
+    for entry in payload["entries"]:
+        try:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from error
+        if count < 1:
+            raise BaselineError(f"baseline {path}: count < 1 in {entry!r}")
+        baseline.entries[key] += count
+        reason = entry.get("reason")
+        if reason:
+            baseline.reasons[key] = str(reason)
+    return baseline
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], previous: Optional[Baseline] = None
+) -> int:
+    """Write every current finding as an accepted entry; returns count.
+
+    Reasons attached to entries that survive regeneration are carried
+    over from ``previous`` so hand-written justifications are not lost.
+    """
+    counts = Counter(finding.key for finding in findings)
+    entries = []
+    for key in sorted(counts):
+        rule_id, rel_path, message = key
+        entry: dict[str, object] = {
+            "rule": rule_id,
+            "path": rel_path,
+            "message": message,
+        }
+        if counts[key] > 1:
+            entry["count"] = counts[key]
+        if previous is not None and key in previous.reasons:
+            entry["reason"] = previous.reasons[key]
+        entries.append(entry)
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Accepted findings for python -m repro.analysis; regenerate "
+            "with --write-baseline, then re-attach 'reason' fields to "
+            "entries that are intentional rather than debt."
+        ),
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(counts.values())

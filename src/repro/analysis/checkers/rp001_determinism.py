@@ -1,0 +1,162 @@
+"""RP001: determinism — no wall clock, no unseeded randomness.
+
+The whole stack replays bit-identically per seed: the DES clock
+(``sim.now``) is the only legal time source inside ``src/repro/``, and
+every random draw must come from an explicitly seeded generator
+(``random.Random(seed)``, ``np.random.default_rng(seed)``).  The PR 7
+perf gate treats any ``simulated_seconds`` drift as a build failure —
+one stray ``time.time()`` in a simulated path turns that gate into a
+coin flip.
+
+Wall-clock *reads* are flagged only under ``src/repro/`` (the wall-clock
+benchmark harness times real execution on purpose); unseeded
+module-level randomness is flagged everywhere scanned — a benchmark
+drawing from the process-global RNG is exactly as unreproducible as an
+engine doing it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from ..astutil import call_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+#: wall-clock and entropy reads that are never legal in simulated code
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.choice",
+    }
+)
+
+#: matched as ``name == s`` or ``name.endswith("." + s)`` so both
+#: ``datetime.now()`` and ``datetime.datetime.now()`` are caught
+_WALL_CLOCK_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: module-level functions of ``random`` that draw from the shared,
+#: process-global (and therefore unseedable-per-query) state
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``np.random.X`` members that are fine — constructors of explicitly
+#: seeded generators and the generator types themselves
+_NP_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+
+@register
+class DeterminismChecker(Checker):
+    rule_id = "RP001"
+    title = "simulated code must use the DES clock and seeded RNGs only"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for call in _calls(ctx.tree):
+            name = call_name(call)
+            if name is None:
+                continue
+            if ctx.in_engine_tree:
+                wall_clock = self._wall_clock_message(name)
+                if wall_clock is not None:
+                    yield self.finding(ctx, call.lineno, wall_clock)
+                    continue
+            randomness = self._randomness_message(name, call)
+            if randomness is not None:
+                yield self.finding(ctx, call.lineno, randomness)
+
+    def _wall_clock_message(self, name: str) -> Optional[str]:
+        if name in _WALL_CLOCK_CALLS:
+            return (
+                f"wall-clock/entropy call {name}() in simulated code; "
+                "sim.now is the only legal time source under src/repro/"
+            )
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                return (
+                    f"wall-clock call {name}() in simulated code; "
+                    "sim.now is the only legal time source under src/repro/"
+                )
+        return None
+
+    def _randomness_message(self, name: str, call: ast.Call) -> Optional[str]:
+        head, _, tail = name.rpartition(".")
+        if head == "random":
+            if tail in _GLOBAL_RANDOM_FUNCS:
+                return (
+                    f"module-level {name}() draws from the process-global "
+                    "RNG; draw from a seeded random.Random(seed) instead"
+                )
+            if tail == "SystemRandom":
+                return (
+                    "random.SystemRandom() is OS entropy and can never "
+                    "replay; use a seeded random.Random(seed)"
+                )
+            if tail == "Random" and not call.args and not call.keywords:
+                return (
+                    "random.Random() without a seed falls back to OS "
+                    "entropy; pass an explicit seed"
+                )
+        if head in ("np.random", "numpy.random"):
+            if tail == "default_rng" and not call.args and not call.keywords:
+                return (
+                    f"{name}() without a seed is fresh OS entropy per "
+                    "call; pass an explicit seed"
+                )
+            if tail not in _NP_RANDOM_OK:
+                return (
+                    f"{name}() uses numpy's process-global RNG; use "
+                    "np.random.default_rng(seed) and draw from it"
+                )
+        return None
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -1,0 +1,149 @@
+"""RP003: DES-process discipline for simulator-driven generators.
+
+Generator functions under ``src/repro/`` are (almost always) DES
+processes: the simulator drives them by sending events, and simulated
+time only advances through ``yield sim.timeout(...)``.  Two defects
+break that model:
+
+* **blocking calls** — ``time.sleep``, file/socket/subprocess I/O —
+  stall the *host* process while the simulated clock stands still,
+  destroying both determinism and the wall-clock numbers the perf gate
+  tracks;
+* **returning while holding staged credits** — a process that acquired
+  a staging credit (``await_credit`` + ``schedule`` in the mem-move,
+  ``acquire_staged`` in older spellings) and returns without releasing
+  strands the shared staging arena for every other query on the server
+  (the exact leak ``abort_outstanding`` exists to clean up).
+
+The credit check is lexical: an explicit ``return`` after an acquire
+with no release before it (and no ``try/finally`` release around it)
+is flagged.  Falling off the end of a generator is not a ``return``
+for this rule — the prefetcher's steady-state shape stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import FUNCTION_NODES, call_name, is_generator, walk_scope
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+#: calls that block the host process (never legal inside a DES process)
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "input",
+        "open",
+        "os.system",
+        "socket.socket",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "urllib.request.urlopen",
+    }
+)
+
+_ACQUIRE_METHODS = frozenset({"acquire_staged", "await_credit"})
+_RELEASE_METHODS = frozenset({"release_staged", "abort_outstanding"})
+
+
+@register
+class DesProcessChecker(Checker):
+    rule_id = "RP003"
+    title = "DES generators must not block or return holding staged credits"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_engine_tree:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, FUNCTION_NODES) or not is_generator(fn):
+                continue
+            yield from self._blocking_calls(ctx, fn)
+            yield from self._returns_holding_credits(ctx, fn)
+
+    def _blocking_calls(self, ctx: ModuleContext, fn: ast.AST) -> Iterable[Finding]:
+        for node in walk_scope(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _BLOCKING_CALLS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"blocking call {name}() inside a DES process "
+                    "generator; only simulated waits (yield "
+                    "sim.timeout(...)) may pass time here",
+                )
+
+    def _returns_holding_credits(
+        self, ctx: ModuleContext, fn: ast.AST
+    ) -> Iterable[Finding]:
+        acquire_lines = _method_call_lines(fn, _ACQUIRE_METHODS)
+        if not acquire_lines:
+            return
+        release_lines = _method_call_lines(fn, _RELEASE_METHODS)
+        guarded = _lines_under_releasing_finally(fn)
+        first_acquire = min(acquire_lines)
+        for node in walk_scope(fn):
+            if not isinstance(node, ast.Return):
+                continue
+            if node.lineno <= first_acquire:
+                continue
+            if node.lineno in guarded:
+                continue
+            if any(first_acquire <= line <= node.lineno for line in release_lines):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "return from a DES process while holding staged credits "
+                "(acquired and not released on this path); release in a "
+                "try/finally or before returning",
+            )
+
+
+def _method_call_lines(fn: ast.AST, methods: frozenset[str]) -> list[int]:
+    lines = []
+    for node in walk_scope(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in methods
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def _lines_under_releasing_finally(fn: ast.AST) -> set[int]:
+    """Line numbers inside a Try whose finally releases credits."""
+    guarded: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        releases = False
+        for stmt in node.finalbody:
+            for inner in ast.walk(stmt):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _RELEASE_METHODS
+                ):
+                    releases = True
+        if not releases:
+            continue
+        children: list[ast.AST] = [*node.body, *node.handlers, *node.orelse]
+        for body_stmt in children:
+            for inner_node in ast.walk(body_stmt):
+                lineno = getattr(inner_node, "lineno", None)
+                if lineno is not None:
+                    guarded.add(lineno)
+    return guarded

@@ -1,0 +1,88 @@
+"""RP004: exception discipline in ``engine/`` and ``core/``.
+
+The typed failure taxonomy (PR 6) only works if blanket handlers never
+swallow an exception: the scheduler's drive loop routes everything
+through ``classify_failure`` so device loss retries and genuine bugs
+fail loudly.  A bare ``except:`` or ``except Exception`` in the engine
+that neither re-raises, nor classifies, nor forwards the error into an
+event (``done.fail(error)`` — how DES producers surface failures to
+consumers parked on an event) is exactly the bug shape PR 6 fixed in
+the driver loop: a dead session that looks idle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import dotted_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+_BLANKET_NAMES = frozenset({"Exception", "BaseException"})
+_CLASSIFIER = "classify_failure"
+_FORWARD_METHOD = "fail"
+
+
+@register
+class ExceptionDisciplineChecker(Checker):
+    rule_id = "RP004"
+    title = "no blanket except in engine/core without re-raise or classify"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_engine_core:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            blanket = _blanket_kind(node)
+            if blanket is None:
+                continue
+            if _handles_properly(node):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"{blanket} swallows the failure: re-raise, route "
+                f"through {_CLASSIFIER}(), or forward the caught error "
+                "into an event's .fail(...)",
+            )
+
+
+def _blanket_kind(handler: ast.ExceptHandler) -> str | None:
+    """'bare except:' / 'except Exception' when the handler is blanket."""
+    if handler.type is None:
+        return "bare except:"
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = dotted_name(node)
+        if name is not None and name.rsplit(".", 1)[-1] in _BLANKET_NAMES:
+            return f"except {name}"
+    return None
+
+
+def _handles_properly(handler: ast.ExceptHandler) -> bool:
+    caught = handler.name  # "error" in `except Exception as error`
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] == _CLASSIFIER:
+            return True
+        if (
+            caught is not None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == _FORWARD_METHOD
+            and any(
+                isinstance(arg, ast.Name) and arg.id == caught for arg in node.args
+            )
+        ):
+            return True
+    return False

@@ -1,0 +1,112 @@
+"""RP006: config hygiene — no shared mutable defaults.
+
+A mutable default (``def f(x=[])``, ``field: list = []`` on a
+dataclass, ``field(default={})``) is one object shared by every call
+and every instance; for config objects that cross query sessions and
+tenants it turns "my knobs" into "everyone's knobs" the first time a
+session mutates them.  Dataclasses reject the common literal cases at
+class-creation time, but only for exact list/dict/set/bytearray — this
+rule catches the full shape statically, including ``field(default=...)``
+and plain function signatures, before anything has to crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..astutil import FUNCTION_NODES, FunctionNode, dotted_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+_DATACLASS_NAMES = frozenset({"dataclass", "dataclasses.dataclass"})
+_FIELD_NAMES = frozenset({"field", "dataclasses.field"})
+
+
+@register
+class ConfigHygieneChecker(Checker):
+    rule_id = "RP006"
+    title = "no mutable defaults in signatures or dataclass fields"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, FUNCTION_NODES):
+                yield from self._signature_defaults(ctx, node)
+            elif isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                yield from self._dataclass_fields(ctx, node)
+
+    def _signature_defaults(
+        self, ctx: ModuleContext, fn: FunctionNode
+    ) -> Iterable[Finding]:
+        defaults: list[ast.expr] = list(fn.args.defaults)
+        defaults.extend(d for d in fn.args.kw_defaults if d is not None)
+        for default in defaults:
+            reason = _mutable_reason(default)
+            if reason is not None:
+                yield self.finding(
+                    ctx,
+                    default.lineno,
+                    f"mutable default {reason} in signature of "
+                    f"{fn.name}(); one object is shared by every call — "
+                    "default to None (or a tuple) and construct inside",
+                )
+
+    def _dataclass_fields(
+        self, ctx: ModuleContext, class_node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        for stmt in class_node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            value = stmt.value
+            if _is_field_call(value):
+                default = _field_default(value)
+                if default is None:
+                    continue
+                value = default
+            reason = _mutable_reason(value)
+            if reason is not None:
+                target = stmt.target
+                field_name = target.id if isinstance(target, ast.Name) else "?"
+                yield self.finding(
+                    ctx,
+                    stmt.lineno,
+                    f"mutable default {reason} on dataclass field "
+                    f"{class_node.name}.{field_name}; use "
+                    "field(default_factory=...) or an immutable default",
+                )
+
+
+def _mutable_reason(node: ast.expr) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "[...]"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "{...}"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "{...} (set)"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return f"{name}()"
+    return None
+
+
+def _is_dataclass(class_node: ast.ClassDef) -> bool:
+    for decorator in class_node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in _DATACLASS_NAMES:
+            return True
+    return False
+
+
+def _is_field_call(node: ast.expr) -> bool:
+    return isinstance(node, ast.Call) and dotted_name(node.func) in _FIELD_NAMES
+
+
+def _field_default(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "default":
+            return keyword.value
+    return None

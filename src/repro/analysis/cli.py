@@ -1,0 +1,152 @@
+"""Command line front-end: ``python -m repro.analysis``.
+
+Exit status is the gate contract: 0 when every finding is baselined or
+suppressed, 1 when fresh findings exist, 2 on usage/baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, TextIO
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from .registry import all_checkers
+from .runner import analyze_paths, find_project_root
+
+#: scanned when no paths are given and they exist under the project root
+DEFAULT_SCAN_DIRS = ("src", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Engine invariant analyzer: AST lint rules enforcing the "
+            "simulator's correctness contracts (determinism, budget "
+            "pairing, DES-process discipline, typed failures, metrics "
+            "schema, config hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to scan (default: "
+            + ", ".join(DEFAULT_SCAN_DIRS)
+            + " under the project root)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} at the project root, when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding as fresh",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule_id}  {checker.title}", file=out)
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        root_probe = find_project_root([Path.cwd()])
+        paths = [
+            root_probe / name
+            for name in DEFAULT_SCAN_DIRS
+            if (root_probe / name).is_dir()
+        ]
+        if not paths:
+            print("error: no paths given and no default dirs found", file=sys.stderr)
+            return 2
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = analyze_paths(paths)
+    baseline_path = args.baseline or result.root / DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        previous = None
+        if baseline_path.exists():
+            try:
+                previous = load_baseline(baseline_path)
+            except BaselineError:
+                previous = None
+        count = write_baseline(baseline_path, result.findings, previous)
+        print(f"wrote {count} finding(s) to {baseline_path}", file=out)
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    fresh, baselined = baseline.apply(result.findings)
+    stale = baseline.stale_entries(result.findings)
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "checked_files": result.checked_files,
+            "findings": [finding.as_dict() for finding in fresh],
+            "baselined": len(baselined),
+            "stale_baseline_entries": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in stale
+            ],
+        }
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for finding in fresh:
+            print(finding.render_text(), file=out)
+        summary = (
+            f"{len(fresh)} finding(s) ({len(baselined)} baselined) "
+            f"across {result.checked_files} file(s)"
+        )
+        if stale:
+            summary += f"; {len(stale)} stale baseline entr(y/ies) to prune:"
+        print(summary, file=out)
+        for rule, path, message in stale:
+            print(f"  stale: {rule} {path}: {message}", file=out)
+    return 1 if fresh else 0

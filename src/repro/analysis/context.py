@@ -1,0 +1,63 @@
+"""Per-module and per-project context handed to checkers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Any
+
+from .suppress import NoqaMap
+
+#: path components that mark the simulator's engine tree — the scope
+#: where the DES clock and seeded plans are the only legal sources of
+#: time and randomness
+ENGINE_PACKAGE = "repro"
+
+#: subpackages carrying the strict exception-discipline contract (RP004)
+STRICT_EXCEPTION_DIRS = frozenset({"engine", "core"})
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file, as the checkers see it."""
+
+    path: Path
+    rel_path: str
+    tree: ast.Module
+    source: str
+    noqa: NoqaMap
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return PurePosixPath(self.rel_path).parts
+
+    @property
+    def in_engine_tree(self) -> bool:
+        """Under ``src/repro/`` (simulated code, determinism contract)."""
+        return ENGINE_PACKAGE in self.parts[:-1]
+
+    @property
+    def in_engine_core(self) -> bool:
+        """Under ``repro/engine/`` or ``repro/core/`` (RP004 scope)."""
+        if not self.in_engine_tree:
+            return False
+        after = self.parts[self.parts.index(ENGINE_PACKAGE) + 1 :]
+        return any(part in STRICT_EXCEPTION_DIRS for part in after[:-1])
+
+
+@dataclass
+class ProjectContext:
+    """Cross-module state for checkers with tree-wide contracts."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+    #: per-rule scratch space populated during check_module, read by
+    #: finalize (e.g. RP005's registration table)
+    store: dict[str, Any] = field(default_factory=dict)
+
+    def module(self, rel_path: str) -> ModuleContext | None:
+        for ctx in self.modules:
+            if ctx.rel_path == rel_path:
+                return ctx
+        return None

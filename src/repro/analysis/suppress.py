@@ -1,0 +1,67 @@
+"""Inline suppression: ``# repro: noqa[RPxxx]`` comments.
+
+Two forms are recognised, anywhere in a comment on the violating line
+(the line the finding is anchored to — a statement's first line):
+
+* ``# repro: noqa[RP001]`` / ``# repro: noqa[RP001,RP004]`` — suppress
+  the listed rules on that line;
+* ``# repro: noqa`` — suppress every rule on that line (reserve this
+  for parse-level problems; targeted suppressions survive refactors
+  reviewably).
+
+Comments are located with :mod:`tokenize`, not a per-line regex, so a
+string literal that merely *contains* the marker text never suppresses
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Optional
+
+#: ``None`` (no bracket form) means "suppress all rules on this line"
+NoqaMap = dict[int, Optional[frozenset[str]]]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def noqa_lines(source: str) -> NoqaMap:
+    """Map 1-based line numbers to the rule ids suppressed there."""
+    suppressions: NoqaMap = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable source is reported as RP000 by the runner; no
+        # suppression map is better than a wrong one.
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        rules_text = match.group("rules")
+        if rules_text is None:
+            suppressions[line] = None  # blanket: every rule
+            continue
+        rules = frozenset(
+            rule.strip().upper() for rule in rules_text.split(",") if rule.strip()
+        )
+        existing = suppressions.get(line, frozenset())
+        if existing is None:
+            continue  # a blanket marker on the same line already wins
+        suppressions[line] = existing | rules
+    return suppressions
+
+
+def is_suppressed(suppressions: NoqaMap, line: int, rule_id: str) -> bool:
+    """Does the map suppress ``rule_id`` on ``line``?"""
+    if line not in suppressions:
+        return False
+    rules = suppressions[line]
+    return rules is None or rule_id.upper() in rules

@@ -95,8 +95,13 @@ class QueryError(RuntimeError):
     walks.
     """
 
-    def __init__(self, message: str, *, process: Optional[str] = None,
-                 phase: Optional[str] = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        process: Optional[str] = None,
+        phase: Optional[str] = None,
+    ):
         super().__init__(message)
         self.process = process
         self.phase = phase
@@ -180,7 +185,8 @@ class PlanCompilation:
                     # racing compile of the same shape never leaves two
                     # distinct function objects in flight
                     pipeline = self.compiler.cache.put(
-                        key, pipeline,
+                        key,
+                        pipeline,
                         cost=self.compiler.compile_cost(stage),
                         tenant=self.tenant,
                     )
@@ -241,7 +247,8 @@ class Executor:
         """A compiler wired to the shared cache and the cost model's
         per-device compile pricing (cost-aware eviction scores)."""
         return PipelineCompiler(
-            widths=self._column_widths(), cache=self.pipeline_cache,
+            widths=self._column_widths(),
+            cache=self.pipeline_cache,
             cost_of=self.cost.compile_demand,
         )
 
@@ -391,9 +398,15 @@ class Executor:
                         )
                 wave_start = self.sim.now
                 runs = [
-                    self._setup_phase(phase, config, pipelines, query_state,
-                                      out, first_wave=wave_index == 0,
-                                      query_id=query_id)
+                    self._setup_phase(
+                        phase,
+                        config,
+                        pipelines,
+                        query_state,
+                        out,
+                        first_wave=wave_index == 0,
+                        query_id=query_id,
+                    )
                     for phase in wave
                 ]
                 self._active[query_id] = runs
@@ -571,7 +584,9 @@ class Executor:
         return instances
 
     def _create_hash_tables(
-        self, phase: Phase, query_state: QueryState,
+        self,
+        phase: Phase,
+        query_state: QueryState,
         instance_map: dict[int, list[_Instance]],
     ) -> list[tuple[str, str, float]]:
         """Pre-create the hash-table domains a build phase fills."""
@@ -594,7 +609,9 @@ class Executor:
         return created
 
     def _account_hash_tables(
-        self, created: list[tuple[str, str, float]], query_state: QueryState,
+        self,
+        created: list[tuple[str, str, float]],
+        query_state: QueryState,
         state_handles: list[tuple[MemoryManager, int]],
     ) -> None:
         """Charge built tables against device memory (logical bytes)."""
@@ -661,22 +678,25 @@ class Executor:
             policy = edges[0].policy
             broadcast = edges[0].broadcast
             routers[stage.stage_id] = Router(
-                self.sim, stage, groups, policy, broadcast=broadcast,
+                self.sim,
+                stage,
+                groups,
+                policy,
+                broadcast=broadcast,
                 name=f"router-{phase.name}-{stage.name}",
                 query_id=query_id,
             )
 
         faults = self.fault_injector
         mem_move = MemMove(
-            self.sim, self.server, self.blocks, self.cost,
+            self.sim,
+            self.server,
+            self.blocks,
+            self.cost,
             prefetch_depth=config.prefetch_depth,
             path_selection=config.path_selection,
-            straggler=(
-                faults.straggler_factor if faults is not None else None
-            ),
-            dma_timeout=(
-                faults.transfer_timeout if faults is not None else None
-            ),
+            straggler=(faults.straggler_factor if faults is not None else None),
+            dma_timeout=(faults.transfer_timeout if faults is not None else None),
         )
         # Locality-first instance selection: routers price a candidate
         # consumer by the mem-move's projected (path-routed) transfer
@@ -720,8 +740,9 @@ class Executor:
             )
             gpu2cpu = None
             if stage.device is DeviceType.GPU and out_router is not None:
-                gpu2cpu = Gpu2Cpu(self.sim, self.cost,
-                                  name=f"{query_id}:gpu2cpu-{stage.name}")
+                gpu2cpu = Gpu2Cpu(
+                    self.sim, self.cost, name=f"{query_id}:gpu2cpu-{stage.name}"
+                )
                 processes.append(
                     self.sim.process(
                         self._gpu2cpu_relay(gpu2cpu, out_router, tracker),
@@ -771,8 +792,16 @@ class Executor:
                 processes.append(
                     self.sim.process(
                         self._worker_proc(
-                            instance, source, edge, out_router, tracker,
-                            gpu2cpu, pipelines, phase_outputs, out, group,
+                            instance,
+                            source,
+                            edge,
+                            out_router,
+                            tracker,
+                            gpu2cpu,
+                            pipelines,
+                            phase_outputs,
+                            out,
+                            group,
                             mem_move,
                         ),
                         name=f"{query_id}:worker-{stage.name}-{instance.index}",
@@ -804,7 +833,8 @@ class Executor:
             if not proc.ok:
                 raise proc.value if isinstance(proc.value, QueryError) else QueryError(
                     f"process {proc.name} failed: {proc.value!r}",
-                    process=proc.name, phase=phase.name,
+                    process=proc.name,
+                    phase=phase.name,
                 ) from proc.value
 
         self._account_hash_tables(run.created_tables, query_state, state_handles)
@@ -832,8 +862,13 @@ class Executor:
 
     # -- processes -----------------------------------------------------------------
 
-    def _source_proc(self, stage: Stage, router: Optional[Router],
-                     config: ExecutionConfig, init_delay: float):
+    def _source_proc(
+        self,
+        stage: Stage,
+        router: Optional[Router],
+        config: ExecutionConfig,
+        init_delay: float,
+    ):
         """The segmenter: emit every block handle, then close the router."""
         if init_delay:
             yield self.sim.timeout(init_delay)
@@ -919,18 +954,14 @@ class Executor:
             delta = _delta(state.stats, before)
             yield from self._charge(instance, handle, delta, cpu2gpu, uva)
             if cpu2gpu is not None:
-                out.profile.kernels_launched = (
-                    out.profile.kernels_launched + 1
-                )
+                out.profile.kernels_launched = out.profile.kernels_launched + 1
             if handle.meta.get("staged"):
                 # via the mem-move (never blocks.release directly): the
                 # slot may already have been reclaimed by an abort, and
                 # release_staged absorbs that race
                 mem_move.release_staged(instance.node_id)
             if group is not None:
-                group.report_done(
-                    instance.index if group.per_instance else None
-                )
+                group.report_done(instance.index if group.per_instance else None)
             yield from self._emit(
                 outputs, instance, out_router, gpu2cpu, phase_outputs, current_scale
             )
@@ -940,8 +971,9 @@ class Executor:
             flushed.extend(state.packer.flush())
         if state.hash_packer is not None:
             flushed.extend(state.hash_packer.flush())
-        yield from self._emit(flushed, instance, out_router, gpu2cpu,
-                              phase_outputs, current_scale)
+        yield from self._emit(
+            flushed, instance, out_router, gpu2cpu, phase_outputs, current_scale
+        )
         if gpu2cpu is not None:
             yield gpu2cpu.send(Store.END)
         else:
@@ -960,7 +992,8 @@ class Executor:
             if node is None or node.kind is not DeviceType.CPU:
                 node = self.server.memory_nodes[instance.node_id]
             job = node.bandwidth.submit(
-                req.work_bytes, rate_cap=req.rate_cap,
+                req.work_bytes,
+                rate_cap=req.rate_cap,
                 label=f"cpu-work:{instance.stage.name}",
             )
             yield job
@@ -974,9 +1007,7 @@ class Executor:
             # device-memory traffic (hash probes, intermediates) proceeds
             # at HBM speed; the block completes when both are done.
             plan = self.cost.transfer_plan(delta.bytes_in, scale=scale)
-            path = self.server.paths_between(
-                handle.node_id, instance.node_id
-            )[0]
+            path = self.server.paths_between(handle.node_id, instance.node_id)[0]
             cap = self.cost.path_rate_cap(path)
             jobs = path_transfer_jobs(path, plan.nbytes, cap, label="uva")
             launch = self.sim.process(cpu2gpu.launch(req), name="kernel-uva")
@@ -985,9 +1016,15 @@ class Executor:
             return
         yield self.sim.process(cpu2gpu.launch(req), name="kernel")
 
-    def _emit(self, outputs, instance: _Instance, out_router: Optional[Router],
-              gpu2cpu: Optional[Gpu2Cpu], phase_outputs: list,
-              scale: float = 1.0):
+    def _emit(
+        self,
+        outputs,
+        instance: _Instance,
+        out_router: Optional[Router],
+        gpu2cpu: Optional[Gpu2Cpu],
+        phase_outputs: list,
+        scale: float = 1.0,
+    ):
         """Forward a pipeline invocation's outputs downstream."""
         if not outputs:
             return
@@ -1007,8 +1044,9 @@ class Executor:
             else:
                 yield out_router.input.put(handle)
 
-    def _gpu2cpu_relay(self, gpu2cpu: Gpu2Cpu, out_router: Router,
-                       tracker: "_ProducerTracker"):
+    def _gpu2cpu_relay(
+        self, gpu2cpu: Gpu2Cpu, out_router: Router, tracker: "_ProducerTracker"
+    ):
         """CPU half of gpu2cpu: receive tasks, hand them to the router."""
         ends = 0
         while True:
@@ -1024,9 +1062,13 @@ class Executor:
 
 def _snapshot(stats: BlockStats) -> tuple:
     return (
-        stats.tuples_in, stats.bytes_in, stats.bytes_out,
-        stats.random_accesses, stats.random_bytes,
-        stats.cpu_cycles, stats.gpu_ops,
+        stats.tuples_in,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.random_accesses,
+        stats.random_bytes,
+        stats.cpu_cycles,
+        stats.gpu_ops,
     )
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 __all__ = [
     "Counter",
@@ -50,6 +50,8 @@ DEFAULT_LATENCY_BUCKETS = (
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_F = TypeVar("_F", bound="_MetricFamily")
 
 
 def _label_key(family: "_MetricFamily", labels: dict[str, object]) -> tuple[str, ...]:
@@ -73,7 +75,7 @@ class _MetricFamily:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         for label in label_names:
@@ -82,16 +84,18 @@ class _MetricFamily:
         self.name = name
         self.help = help
         self.label_names = tuple(label_names)
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], Any] = {}
 
-    def _child(self, labels: dict[str, object], default):
+    def _child(
+        self, labels: dict[str, object], default: Callable[[], Any]
+    ) -> tuple[tuple[str, ...], Any]:
         key = _label_key(self, labels)
         child = self._children.get(key)
         if child is None:
             child = self._children[key] = default()
         return key, child
 
-    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], Any]]:
         return sorted(self._children.items())
 
     def header(self) -> list[str]:
@@ -107,13 +111,13 @@ class Counter(_MetricFamily):
 
     kind = "counter"
 
-    def inc(self, value: float = 1.0, **labels) -> None:
+    def inc(self, value: float = 1.0, **labels: object) -> None:
         if value < 0:
             raise ValueError("counters only increase; inc() needs value >= 0")
         key, _ = self._child(labels, float)
         self._children[key] += value
 
-    def sync(self, total: float, **labels) -> None:
+    def sync(self, total: float, **labels: object) -> None:
         """Fold an externally maintained monotone total into this family.
 
         Increments by the delta against the last synced total, so
@@ -128,11 +132,11 @@ class Counter(_MetricFamily):
             self._children[key] += total - last
         self._synced[key] = total
 
-    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
         super().__init__(name, help, label_names)
         self._synced: dict[tuple[str, ...], float] = {}
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._children.get(_label_key(self, labels), 0.0)
 
     def render(self) -> list[str]:
@@ -155,11 +159,11 @@ class Gauge(_MetricFamily):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         key, _ = self._child(labels, float)
         self._children[key] = float(value)
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._children.get(_label_key(self, labels), 0.0)
 
     def render(self) -> list[str]:
@@ -178,7 +182,7 @@ class Gauge(_MetricFamily):
 
 
 class _HistogramChild:
-    def __init__(self, buckets: tuple[float, ...]):
+    def __init__(self, buckets: tuple[float, ...]) -> None:
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # +Inf is the last slot
         self.sum = 0.0
@@ -205,18 +209,18 @@ class Histogram(_MetricFamily):
         help: str,
         label_names: Sequence[str],
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-    ):
+    ) -> None:
         super().__init__(name, help, label_names)
         ordered = tuple(sorted(float(b) for b in buckets))
         if not ordered or any(not math.isfinite(b) for b in ordered):
             raise ValueError("buckets must be a non-empty finite sequence")
         self.buckets = ordered
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: object) -> None:
         _, child = self._child(labels, lambda: _HistogramChild(self.buckets))
         child.observe(float(value))
 
-    def child(self, **labels) -> _HistogramChild:
+    def child(self, **labels: object) -> _HistogramChild:
         _, child = self._child(labels, lambda: _HistogramChild(self.buckets))
         return child
 
@@ -259,10 +263,17 @@ class MetricsRegistry:
     exactly the bug a registry exists to prevent).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._families: dict[str, _MetricFamily] = {}
 
-    def _register(self, cls, name, help, label_names, **kwargs):
+    def _register(
+        self,
+        cls: type[_F],
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        **kwargs: Any,
+    ) -> _F:
         existing = self._families.get(name)
         if existing is not None:
             if not isinstance(existing, cls) or existing.label_names != tuple(
@@ -334,11 +345,11 @@ class MetricsPump:
 
     def __init__(
         self,
-        sim,
+        sim: Any,
         fold: Callable[[str, dict], None],
         sample_gauges: Optional[Callable[[], None]] = None,
         sample_interval: float = 0.25,
-    ):
+    ) -> None:
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         self.sim = sim
@@ -346,12 +357,12 @@ class MetricsPump:
         self.sample_gauges = sample_gauges
         self.sample_interval = sample_interval
         self._queue: list[tuple[str, dict]] = []
-        self._wakeup = None
-        self._proc = None
+        self._wakeup: Optional[Any] = None
+        self._proc: Optional[Any] = None
         #: drained-event count (tests assert the hot path stayed queued)
         self.drained = 0
 
-    def emit(self, kind: str, **fields) -> None:
+    def emit(self, kind: str, **fields: object) -> None:
         """Queue one raw event; O(1) on the hot path."""
         self._queue.append((kind, fields))
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -372,7 +383,7 @@ class MetricsPump:
         if self._proc is None or self._proc.triggered:
             self._proc = self.sim.process(self._run(), name="metrics-writer")
 
-    def _run(self):
+    def _run(self) -> Iterator[Any]:
         while True:
             if not self._queue:
                 self._wakeup = self.sim.event(name="metrics:wakeup")

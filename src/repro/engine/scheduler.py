@@ -254,9 +254,7 @@ class ResourceBudget:
         )
 
     def headroom(self) -> dict[str, float]:
-        return {
-            dim: self.capacity[dim] - self.in_use[dim] for dim in DIMENSIONS
-        }
+        return {dim: self.capacity[dim] - self.in_use[dim] for dim in DIMENSIONS}
 
     # -- state changes -----------------------------------------------------
 
@@ -374,8 +372,7 @@ class _UtilizationMonitor:
             closed = {
                 key: min(
                     1.0,
-                    max(0.0, (busy[key] - self._busy_at_start.get(key, 0.0))
-                        / elapsed),
+                    max(0.0, (busy[key] - self._busy_at_start.get(key, 0.0)) / elapsed),
                 )
                 for key in busy
             }
@@ -397,10 +394,7 @@ class _UtilizationMonitor:
         if not sample:
             return None
         return max(
-            (
-                value for key, value in sample.items()
-                if key.startswith("rate:dram:")
-            ),
+            (value for key, value in sample.items() if key.startswith("rate:dram:")),
             default=0.0,
         )
 
@@ -591,8 +585,7 @@ def _memory_share(demand: QueryDemand) -> QueryDemand:
     runtime allocation then fails with out-of-device-memory.  The
     stream windows (PCIe and its cross-socket QPI share) travel with
     the compute share — a paused query moves no data."""
-    return replace(demand, pcie_bytes=0.0, qpi_bytes=0.0, cpu_cores=0,
-                   gpu_units=0)
+    return replace(demand, pcie_bytes=0.0, qpi_bytes=0.0, cpu_cores=0, gpu_units=0)
 
 
 @dataclass
@@ -717,9 +710,7 @@ class BatchReport:
     def by_class(self) -> dict[str, list[QuerySession]]:
         """Sessions grouped by their QoS label, in priority order."""
         groups: dict[str, list[QuerySession]] = {}
-        for session in sorted(
-            self.sessions, key=lambda s: (-s.priority, s.query_id)
-        ):
+        for session in sorted(self.sessions, key=lambda s: (-s.priority, s.query_id)):
             groups.setdefault(session.label, []).append(session)
         return groups
 
@@ -734,9 +725,7 @@ class BatchReport:
         """
         out: dict[str, dict[str, float]] = {}
         for label, group in self.by_class().items():
-            latencies = sorted(
-                s.latency for s in group if s.status == "done"
-            )
+            latencies = sorted(s.latency for s in group if s.status == "done")
             if not latencies:
                 continue
             out[label] = {
@@ -807,9 +796,7 @@ class BatchReport:
                     f"{shared.get('size', 0)}/{shared.get('capacity', 0)} "
                     f"resident"
                 )
-        if len(self.tenants) > 1 or (
-            self.tenants and "default" not in self.tenants
-        ):
+        if len(self.tenants) > 1 or (self.tenants and "default" not in self.tenants):
             for label, record in sorted(self.tenants.items()):
                 parts = [
                     f"tenant {label:12s}",
@@ -965,9 +952,7 @@ class EngineServer:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         if admission not in ("sla", "fifo"):
-            raise ValueError(
-                f"admission must be 'sla' or 'fifo', got {admission!r}"
-            )
+            raise ValueError(f"admission must be 'sla' or 'fifo', got {admission!r}")
         if backfill_limit is not None and backfill_limit < 0:
             raise ValueError("backfill_limit must be >= 0 (or None)")
         if max_queue_depth is not None and max_queue_depth < 1:
@@ -981,10 +966,7 @@ class EngineServer:
             )
         if not elastic and (
             elastic_policy is not None
-            or any(
-                knob is not None
-                for knob in (min_dop, max_dop, target_utilization)
-            )
+            or any(knob is not None for knob in (min_dop, max_dop, target_utilization))
         ):
             # knobs without the switch would be silently inert: the
             # caller believes elasticity is active and gets fixed dop
@@ -1117,9 +1099,7 @@ class EngineServer:
                 f"tenants=[Tenant({name!r}, ...)]"
             ) from None
 
-    def _tenant_budget_of(
-        self, session: QuerySession
-    ) -> Optional[ResourceBudget]:
+    def _tenant_budget_of(self, session: QuerySession) -> Optional[ResourceBudget]:
         return self.tenant_states[session.tenant].budget
 
     def _fits_budgets(self, session: QuerySession, need: QueryDemand) -> bool:
@@ -1143,19 +1123,14 @@ class EngineServer:
         blocked on its own quota never justifies pausing other tenants'
         queries (that would punch through the isolation wall).
         """
-        if not self.budget.fits_with_release(
-            need, [demand for _, demand in releases]
-        ):
+        if not self.budget.fits_with_release(need, [demand for _, demand in releases]):
             return False
         tenant_budget = self._tenant_budget_of(blocked)
         if tenant_budget is None:
             return True
         return tenant_budget.fits_with_release(
             need,
-            [
-                demand for victim, demand in releases
-                if victim.tenant == blocked.tenant
-            ],
+            [demand for victim, demand in releases if victim.tenant == blocked.tenant],
         )
 
     # -- metrics -----------------------------------------------------------
@@ -1174,12 +1149,14 @@ class EngineServer:
         self._m_latency = registry.histogram(
             "repro_query_latency_seconds",
             "End-to-end simulated latency of completed queries",
-            labels=("tenant",), buckets=buckets,
+            labels=("tenant",),
+            buckets=buckets,
         )
         self._m_queue_wait = registry.histogram(
             "repro_queue_wait_seconds",
             "Simulated queueing delay from submission to admission",
-            labels=("tenant",), buckets=buckets,
+            labels=("tenant",),
+            buckets=buckets,
         )
         self._m_preemptions = registry.counter(
             "repro_preemptions_total", "Phase-boundary preemptions"
@@ -1234,9 +1211,7 @@ class EngineServer:
                 status=fields["status"],
             )
             if fields["status"] == "done" and fields["latency"] is not None:
-                self._m_latency.observe(
-                    fields["latency"], tenant=fields["tenant"]
-                )
+                self._m_latency.observe(fields["latency"], tenant=fields["tenant"])
             if fields.get("queue_wait") is not None:
                 self._m_queue_wait.observe(
                     fields["queue_wait"], tenant=fields["tenant"]
@@ -1263,13 +1238,13 @@ class EngineServer:
                 if math.isfinite(state.budget.capacity[dim]):
                     self._m_tenant_budget.set(
                         state.budget.in_use[dim],
-                        tenant=state.name, dimension=dim,
+                        tenant=state.name,
+                        dimension=dim,
                     )
         cache = self.executor.pipeline_cache
         if cache is not None:
             snap = cache.snapshot()
-            for event in ("hits", "misses", "insertions", "evictions",
-                          "shared_hits"):
+            for event in ("hits", "misses", "insertions", "evictions", "shared_hits"):
                 if event in snap:
                     self._m_cache.sync(snap[event], event=event)
         if self.faults is not None:
@@ -1403,29 +1378,39 @@ class EngineServer:
         label = self._tenant_label(session.tenant)
         self._pump.emit("shed", tenant=label, reason=reason)
         self._pump.emit(
-            "session", tenant=label, qos_class=session.label,
-            status="shed", latency=None, queue_wait=None,
+            "session",
+            tenant=label,
+            qos_class=session.label,
+            status="shed",
+            latency=None,
+            queue_wait=None,
         )
         session.done.trigger(session)
         return session
 
     def submit_batch(
-        self, items: Sequence[tuple[Plan, ExecutionConfig]],
+        self,
+        items: Sequence[tuple[Plan, ExecutionConfig]],
         names: Optional[Sequence[str]] = None,
         qos: Optional[QoS] = None,
         tenant: Optional[str] = None,
     ) -> list[QuerySession]:
         return [
-            self.submit(plan, config,
-                        name=names[i] if names else None, qos=qos,
-                        tenant=tenant)
+            self.submit(
+                plan, config, name=names[i] if names else None, qos=qos, tenant=tenant
+            )
             for i, (plan, config) in enumerate(items)
         ]
 
-    def spawn_client(self, plans: Sequence[Plan], config: ExecutionConfig,
-                     think_seconds: float = 0.0, name: str = "client",
-                     qos: Optional[QoS] = None,
-                     tenant: Optional[str] = None):
+    def spawn_client(
+        self,
+        plans: Sequence[Plan],
+        config: ExecutionConfig,
+        think_seconds: float = 0.0,
+        name: str = "client",
+        qos: Optional[QoS] = None,
+        tenant: Optional[str] = None,
+    ):
         """Closed-loop client: submit, await completion, think, repeat.
 
         A client that dies mid-loop (e.g. a later plan is rejected by
@@ -1436,8 +1421,9 @@ class EngineServer:
 
         def client():
             for index, plan in enumerate(plans):
-                session = self.submit(plan, config, name=f"{name}-{index}",
-                                      qos=qos, tenant=tenant)
+                session = self.submit(
+                    plan, config, name=f"{name}-{index}", qos=qos, tenant=tenant
+                )
                 yield session.done
                 if think_seconds:
                     yield self.sim.timeout(think_seconds)
@@ -1480,8 +1466,11 @@ class EngineServer:
             for index in range(arrivals):
                 yield self.sim.timeout(rng.expovariate(rate_qps))
                 self.submit(
-                    plans[index % len(plans)], config,
-                    name=f"{name}-{index}", qos=qos, tenant=tenant,
+                    plans[index % len(plans)],
+                    config,
+                    name=f"{name}-{index}",
+                    qos=qos,
+                    tenant=tenant,
                 )
 
         proc = self.sim.process(generator(), name=f"open:{name}")
@@ -1544,8 +1533,7 @@ class EngineServer:
         if self.admission == "fifo":
             return (session.query_id,)
         deadline = session.deadline if session.deadline is not None else math.inf
-        return (-session.priority, deadline, session.submit_time,
-                session.query_id)
+        return (-session.priority, deadline, session.submit_time, session.query_id)
 
     def _waiting(self) -> list[QuerySession]:
         """Queued + paused sessions in admission order (paused sessions
@@ -1563,9 +1551,7 @@ class EngineServer:
             return waiting
         queues: dict[str, list[QuerySession]] = {}
         for session in waiting:
-            queues.setdefault(
-                self._tenant_label(session.tenant), []
-            ).append(session)
+            queues.setdefault(self._tenant_label(session.tenant), []).append(session)
         if len(queues) <= 1:
             return waiting
         order = ["default", *self._tenant_order]
@@ -1573,9 +1559,7 @@ class EngineServer:
             self._tenant_label(key): state.tenant.weight
             for key, state in self.tenant_states.items()
         }
-        return self._drr.interleave(
-            queues, weights, order, lambda s: s.priority
-        )
+        return self._drr.interleave(queues, weights, order, lambda s: s.priority)
 
     @staticmethod
     def _admission_need(session: QuerySession) -> QueryDemand:
@@ -1671,9 +1655,7 @@ class EngineServer:
             return
         session.admit_time = self.sim.now
         if self.elastic and session.config.cpu_workers:
-            session.dop_trajectory.append(
-                (self.sim.now, session.config.cpu_workers)
-            )
+            session.dop_trajectory.append((self.sim.now, session.config.cpu_workers))
         driver = self._query_proc(session)
         self._drivers[session.query_id] = driver
         self._driver_procs[session.query_id] = self.sim.process(
@@ -1746,9 +1728,7 @@ class EngineServer:
         # same-tenant victims — pausing other tenants' queries would
         # let one tenant's pressure punch through the isolation wall
         tenant_budget = self._tenant_budget_of(blocked)
-        tenant_blocked = (
-            tenant_budget is not None and not tenant_budget.fits(need)
-        )
+        tenant_blocked = tenant_budget is not None and not tenant_budget.fits(need)
         victims = sorted(
             (
                 s for s in self._active_sessions.values()
@@ -1786,9 +1766,7 @@ class EngineServer:
             # The requester may already have finished (e.g. it fit after
             # another session completed): only pause if yielding still
             # serves a higher-priority waiter.
-            if not any(
-                w.priority > session.priority for w in self._waiting()
-            ):
+            if not any(w.priority > session.priority for w in self._waiting()):
                 return None
             session.status = "paused"
             session.preemptions += 1
@@ -1803,9 +1781,7 @@ class EngineServer:
                 tenant_budget.release(compute)
             session.held_demand = _memory_share(session.demand)
             self._active_sessions.pop(session.query_id, None)
-            session.resume_event = self.sim.event(
-                name=f"{session.tag}:resume"
-            )
+            session.resume_event = self.sim.event(name=f"{session.tag}:resume")
             self._paused.append(session)
             self._wake_admission()
             return session.resume_event
@@ -1832,9 +1808,7 @@ class EngineServer:
             # what admitted queries already hold is the real headroom —
             # falling back to the raw core count would let co-resident
             # elastic queries collectively grow far past the machine
-            headroom = (
-                len(self.server.cores) - self.budget.in_use["cpu_cores"]
-            )
+            headroom = len(self.server.cores) - self.budget.in_use["cpu_cores"]
         waiting = self._waiting()
         if waiting and self._running < self.max_concurrent:
             headroom -= self._admission_need(waiting[0]).cpu_cores
@@ -1884,9 +1858,7 @@ class EngineServer:
                 # target, so the headroom above it stays free for
                 # higher-priority bursts instead of being colonised and
                 # then slowly clawed back by shrinks.
-                target = min(
-                    target, int(dop * policy.target_utilization / dram)
-                )
+                target = min(target, int(dop * policy.target_utilization / dram))
             return target if target > dop else None
         return None
 
@@ -1964,15 +1936,15 @@ class EngineServer:
                         # per-device, per-complexity pricing: a GPU
                         # build-sink pipeline pays ~5-10x what a trivial
                         # CPU filter does
-                        charged = compilation.compile_seconds(
-                            self.compile_seconds
-                        )
+                        charged = compilation.compile_seconds(self.compile_seconds)
                         session.compile_seconds_charged += charged
                         yield self.sim.timeout(charged)
                     pipelines = compilation.finish()
                     raw = yield from self.executor.execute_process(
-                        session.het, session.current_config or session.config,
-                        query_id=session.tag, pipelines=pipelines,
+                        session.het,
+                        session.current_config or session.config,
+                        query_id=session.tag,
+                        pipelines=pipelines,
                         checkpoint=self._make_checkpoint(session),
                         reconfigure=(
                             self._make_reconfigure(session)
@@ -1980,9 +1952,7 @@ class EngineServer:
                             else None
                         ),
                     )
-                    session.result = self.engine._collect(
-                        session.het.collect, raw
-                    )
+                    session.result = self.engine._collect(session.het.collect, raw)
                     session.status = "done"
                     break
                 except Exception as error:
@@ -2048,14 +2018,15 @@ class EngineServer:
                 else min(policy.fallback_cpu_workers, len(self.server.cores))
             )
         try:
-            new_config = config.derive(
-                cpu_workers=cpu_workers, gpu_ids=gpu_ids
-            )
-            het = self.placer.place(
-                session.plan, new_config, exclude_devices=dead
-            )
+            new_config = config.derive(cpu_workers=cpu_workers, gpu_ids=gpu_ids)
+            het = self.placer.place(session.plan, new_config, exclude_devices=dead)
             demand = self._estimate_demand(het, new_config, session.qos)
-        except Exception:
+        # Intentional blanket catch: ANY failure to shape a degraded
+        # placement means "no retry possible" — the session then fails
+        # terminally with its ORIGINAL typed error (the caller is the
+        # driver's classify_failure path), which is strictly more useful
+        # than surfacing the shaping error here.
+        except Exception:  # repro: noqa[RP004]
             return None
         if not self.budget.can_ever_fit(demand):
             return None
@@ -2085,18 +2056,14 @@ class EngineServer:
         backoff = self.retry_policy.backoff_seconds * (session.attempts - 1)
         if backoff > 0:
             yield self.sim.timeout(backoff)
-        session.readmit_event = self.sim.event(
-            name=f"{session.tag}:readmit"
-        )
+        session.readmit_event = self.sim.event(name=f"{session.tag}:readmit")
         # a retry is not a new arrival: it bypasses max_queue_depth (the
         # session was already admitted once and sheds nothing)
         self._pending.append(session)
         self._wake_admission()
         yield session.readmit_event
 
-    def _abort_victim(
-        self, target: Optional[str], reason: str
-    ) -> Optional[str]:
+    def _abort_victim(self, target: Optional[str], reason: str) -> Optional[str]:
         """Deliver a spurious abort to one running session's driver.
 
         Picks the named session, or — deterministically — the earliest-
@@ -2172,9 +2139,7 @@ class EngineServer:
         queued = [s for s in self.sessions if s.status == "queued"]
         if not problems and queued and self._running == 0:
             names = [s.name for s in queued]
-            problems.append(
-                f"admission stalled with idle server; queued: {names}"
-            )
+            problems.append(f"admission stalled with idle server; queued: {names}")
         if problems:
             raise SchedulerError("; ".join(problems))
 
@@ -2225,9 +2190,7 @@ class EngineServer:
         out: dict[str, dict] = {}
         groups: dict[str, list[QuerySession]] = {}
         for session in finished:
-            groups.setdefault(
-                self._tenant_label(session.tenant), []
-            ).append(session)
+            groups.setdefault(self._tenant_label(session.tenant), []).append(session)
         for key, state in self.tenant_states.items():
             label = self._tenant_label(key)
             sessions = groups.get(label, [])
@@ -2247,9 +2210,7 @@ class EngineServer:
                 "preemptions": sum(s.preemptions for s in sessions),
                 "retries": sum(s.retries for s in sessions),
             }
-            latencies = sorted(
-                s.latency for s in sessions if s.status == "done"
-            )
+            latencies = sorted(s.latency for s in sessions if s.status == "done")
             if latencies:
                 record["latency"] = {
                     f"p{pct:g}": _percentile(latencies, pct)
@@ -2290,9 +2251,7 @@ class EngineServer:
                 )
         for node_id, leaked in self.engine.blocks.unaccounted_blocks().items():
             if leaked:
-                raise AssertionError(
-                    f"{leaked} staging block(s) leaked on {node_id}"
-                )
+                raise AssertionError(f"{leaked} staging block(s) leaked on {node_id}")
         totals = {
             f"allocated:{dim}": self.budget.total_allocated[dim]
             for dim in DIMENSIONS
@@ -2329,15 +2288,17 @@ class EngineServer:
             source = phase.source_stages()[0]
             table = self.catalog.table(source.source.table)
             sink = next(
-                (op for stage in phase.stages for op in stage.ops
-                 if isinstance(op, OpBuildSink)),
+                (
+                    op
+                    for stage in phase.stages
+                    for op in stage.ops
+                    if isinstance(op, OpBuildSink)
+                ),
                 None,
             )
             if sink is None:
                 continue
-            columns = [
-                c for c in [sink.build_key, *sink.payload] if c in table.columns
-            ]
+            columns = [c for c in [sink.build_key, *sink.payload] if c in table.columns]
             scale = self.catalog.logical_scale(table.name)
             state_bytes += (
                 self.catalog.logical_bytes(table.name, columns)

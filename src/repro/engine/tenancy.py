@@ -73,7 +73,7 @@ class RateLimit:
     rate_qps: float
     burst: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rate_qps <= 0:
             raise ValueError("rate_qps must be positive")
         if self.burst < 1:
@@ -94,7 +94,7 @@ class TokenBucket:
     #: float slack so a token refilled at exactly t is spendable at t
     _EPS = 1e-9
 
-    def __init__(self, limit: RateLimit, now: float = 0.0):
+    def __init__(self, limit: RateLimit, now: float = 0.0) -> None:
         self.limit = limit
         self.tokens = float(limit.burst)
         self._last = now
@@ -140,7 +140,7 @@ class Tenant:
     memory_quota: Optional[float] = None
     rate_limit: Optional[RateLimit] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("tenant name must be non-empty")
         if self.weight <= 0:
@@ -214,7 +214,7 @@ class DeficitRoundRobin:
     #: fairness into long-term punishment
     _MAX_DEBT = 1.0
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._deficits: dict[str, float] = {}
 
     def deficit(self, name: str) -> float:

@@ -1,0 +1,638 @@
+"""Engine invariant analyzer tests.
+
+Each checker gets fixture-tree positives *and* negatives (the compliant
+engine idioms must stay legal), plus suppression and baseline round
+trips, CLI exit-code contracts, and a self-scan asserting the repo's
+own ``src/`` + ``benchmarks/`` trees carry zero unbaselined findings —
+the same gate CI enforces.
+"""
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    all_checkers,
+    analyze_paths,
+    load_baseline,
+    main,
+    write_baseline,
+)
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, BaselineError
+from repro.analysis.runner import PARSE_RULE
+from repro.analysis.suppress import is_suppressed, noqa_lines
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ENGINE = "src/repro/engine/mod.py"
+CORE = "src/repro/core/mod.py"
+HARDWARE = "src/repro/hardware/mod.py"
+BENCH = "benchmarks/bench.py"
+
+
+def project(tmp_path, files):
+    """Write a fixture tree (with a root marker) and return its root."""
+    (tmp_path / "pyproject.toml").write_text("# fixture root marker\n")
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def scan(root):
+    return analyze_paths([root], root=root)
+
+
+def by_rule(result, rule_id):
+    return [f for f in result.findings if f.rule_id == rule_id]
+
+
+def test_registry_exposes_all_six_rules():
+    ids = [checker.rule_id for checker in all_checkers()]
+    assert ids == ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+
+
+def test_unparsable_file_reports_rp000(tmp_path):
+    root = project(tmp_path, {ENGINE: "def broken(:\n"})
+    result = scan(root)
+    assert [f.rule_id for f in result.findings] == [PARSE_RULE]
+    assert result.checked_files == 0
+
+
+class TestRP001Determinism:
+    def test_wall_clock_in_engine_tree(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+                import datetime
+
+                def run(sim):
+                    start = time.time()
+                    stamp = datetime.datetime.now()
+                    return start, stamp
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP001")
+        assert len(found) == 2
+        assert "time.time" in found[0].message
+        assert found[0].line == 5
+
+    def test_wall_clock_legal_outside_engine_tree(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                BENCH: """\
+                import time
+
+                def measure(fn):
+                    start = time.perf_counter()
+                    fn()
+                    return time.perf_counter() - start
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP001") == []
+
+    def test_unseeded_randomness_flagged_everywhere(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                BENCH: """\
+                import random
+                import numpy as np
+
+                def jitter(xs):
+                    random.shuffle(xs)
+                    rng = random.Random()
+                    fresh = np.random.default_rng()
+                    return rng, fresh, np.random.rand(3)
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP001")
+        assert len(found) == 4
+
+    def test_seeded_generators_are_legal(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import random
+                import numpy as np
+
+                def draws(seed):
+                    rng = random.Random(seed)
+                    gen = np.random.default_rng(seed)
+                    return rng.random(), gen.normal()
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP001") == []
+
+
+class TestRP002BudgetDiscipline:
+    LEAK = """\
+    class Admission:
+        def admit(self, session, demand):
+            self.budget.allocate(demand)
+            session.start()
+    """
+
+    def test_acquire_without_release_is_flagged(self, tmp_path):
+        root = project(tmp_path, {ENGINE: self.LEAK})
+        found = by_rule(scan(root), "RP002")
+        assert len(found) == 1
+        assert "self.budget.allocate" in found[0].message
+
+    def test_out_of_engine_tree_is_out_of_scope(self, tmp_path):
+        root = project(tmp_path, {BENCH: self.LEAK})
+        assert by_rule(scan(root), "RP002") == []
+
+    def test_recording_the_hold_is_compliant(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                class Admission:
+                    def admit(self, session, demand):
+                        self.budget.allocate(demand)
+                        session.holds_budget = True
+                        session.held_demand = demand
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP002") == []
+
+    def test_release_in_finally_is_compliant(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                class Admission:
+                    def run_once(self, demand):
+                        self.budget.allocate(demand)
+                        try:
+                            self.step()
+                        finally:
+                            self.budget.release(demand)
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP002") == []
+
+    def test_non_budget_receivers_ignored(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                class Worker:
+                    def grab(self):
+                        self.lock.acquire()
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP002") == []
+
+
+class TestRP003DesProcess:
+    def test_blocking_call_in_generator(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+
+                def proc(sim):
+                    time.sleep(0.1)
+                    yield sim.timeout(1)
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP003")
+        assert len(found) == 1
+        assert "time.sleep" in found[0].message
+
+    def test_blocking_call_in_plain_function_not_in_scope(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+
+                def warmup():
+                    time.sleep(0.1)
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP003") == []
+
+    def test_return_holding_staged_credits(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def mover(sim, staging):
+                    staging.await_credit()
+                    yield sim.timeout(1)
+                    return None
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP003")
+        assert len(found) == 1
+        assert "staged credits" in found[0].message
+
+    def test_release_before_return_is_compliant(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def mover(sim, staging):
+                    staging.await_credit()
+                    yield sim.timeout(1)
+                    staging.release_staged(0)
+                    return
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP003") == []
+
+    def test_finally_guarded_return_is_compliant(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def mover(sim, staging):
+                    staging.await_credit()
+                    try:
+                        yield sim.timeout(1)
+                        return
+                    finally:
+                        staging.abort_outstanding()
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP003") == []
+
+    def test_return_before_acquire_is_compliant(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def mover(sim, staging):
+                    if sim.idle:
+                        return
+                    staging.await_credit()
+                    yield sim.timeout(1)
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP003") == []
+
+
+class TestRP004ExceptionDiscipline:
+    SWALLOW = """\
+    def drive(session):
+        try:
+            session.step()
+        except Exception:
+            pass
+
+    def drain(queue):
+        try:
+            return queue.pop()
+        except:
+            return None
+    """
+
+    def test_swallowing_blanket_handlers_flagged(self, tmp_path):
+        root = project(tmp_path, {CORE: self.SWALLOW})
+        found = by_rule(scan(root), "RP004")
+        assert len(found) == 2
+        assert "except Exception" in found[0].message
+        assert "bare except:" in found[1].message
+
+    def test_scope_is_engine_and_core_only(self, tmp_path):
+        root = project(tmp_path, {HARDWARE: self.SWALLOW})
+        assert by_rule(scan(root), "RP004") == []
+
+    def test_compliant_handlers(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def ok_reraise(session):
+                    try:
+                        session.step()
+                    except Exception:
+                        raise
+
+                def ok_classify(session):
+                    try:
+                        session.step()
+                    except Exception as error:
+                        session.outcome = classify_failure(error)
+
+                def ok_forward(done, work):
+                    try:
+                        work()
+                    except Exception as error:
+                        done.fail(error)
+
+                def ok_narrow(queue):
+                    try:
+                        return queue.pop()
+                    except IndexError:
+                        return None
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP004") == []
+
+
+class TestRP005MetricsSchema:
+    FIXTURE = {
+        "tests/test_metrics.py": """\
+        EXPECTED_FAMILIES = {
+            "repro_jobs_total",
+            "repro_ghost_total",
+        }
+        """,
+        "src/repro/engine/dup.py": """\
+        class Dup:
+            def __init__(self, registry):
+                self.jobs = registry.gauge("repro_jobs_total", "again")
+        """,
+        "src/repro/engine/surface.py": """\
+        class Surface:
+            def __init__(self, registry):
+                self.jobs = registry.counter(
+                    "repro_jobs_total", "jobs", labels=("tenant",)
+                )
+                self.spare = registry.counter("repro_spare_total", "x")
+
+            def feed(self, tenant):
+                self.jobs.inc(tenant=tenant)
+
+            def feed_bad(self):
+                self.jobs.inc(queue="q0")
+        """,
+    }
+
+    def test_schema_violations(self, tmp_path):
+        root = project(tmp_path, dict(self.FIXTURE))
+        found = by_rule(scan(root), "RP005")
+        messages = [f.message for f in found]
+        assert len(found) == 4
+        assert any("re-registered" in m or "more than once" in m for m in messages)
+        assert any("passes" in m and "'queue'" in m for m in messages)
+        assert any("repro_spare_total" in m and "pinned" in m for m in messages)
+        assert any("repro_ghost_total" in m and "no longer" in m for m in messages)
+
+    def test_pin_drift_anchors_at_pin_file(self, tmp_path):
+        root = project(tmp_path, dict(self.FIXTURE))
+        found = by_rule(scan(root), "RP005")
+        ghost = [f for f in found if "repro_ghost_total" in f.message]
+        assert ghost[0].path == "tests/test_metrics.py"
+
+    def test_consistent_schema_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "tests/test_metrics.py": """\
+                EXPECTED_FAMILIES = {"repro_jobs_total"}
+                """,
+                "src/repro/engine/surface.py": """\
+                class Surface:
+                    def __init__(self, registry):
+                        self.jobs = registry.counter(
+                            "repro_jobs_total", "jobs", labels=("tenant",)
+                        )
+
+                    def feed(self, tenant):
+                        self.jobs.inc(tenant=tenant)
+                """,
+            },
+        )
+        assert by_rule(scan(root), "RP005") == []
+
+
+class TestRP006ConfigHygiene:
+    def test_mutable_defaults_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                BENCH: """\
+                from dataclasses import dataclass, field
+
+                def make(xs=[], mapping=None, *, tags={}, opts=dict()):
+                    return xs, mapping, tags, opts
+
+                @dataclass
+                class Config:
+                    names: list = field(default=[])
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP006")
+        assert len(found) == 4
+        assert any("Config.names" in f.message for f in found)
+
+    def test_immutable_and_factory_defaults_are_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                BENCH: """\
+                from dataclasses import dataclass, field
+
+                def make(xs=None, pair=(), label="x"):
+                    return xs, pair, label
+
+                @dataclass
+                class Config:
+                    names: list = field(default_factory=list)
+                    safe: tuple = ()
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP006") == []
+
+
+class TestSuppression:
+    def test_targeted_noqa_suppresses_only_that_rule(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+
+                def run(sim):
+                    return time.time()  # repro: noqa[RP001]
+                """
+            },
+        )
+        assert scan(root).findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+
+                def run(sim):
+                    return time.time()  # repro: noqa[RP006]
+                """
+            },
+        )
+        assert len(by_rule(scan(root), "RP001")) == 1
+
+    def test_blanket_noqa_suppresses_everything(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                import time
+
+                def run(sim):
+                    return time.time()  # repro: noqa
+                """
+            },
+        )
+        assert scan(root).findings == []
+
+    def test_marker_inside_string_literal_is_inert(self):
+        assert noqa_lines('text = "# repro: noqa[RP001]"\n') == {}
+
+    def test_is_suppressed_semantics(self):
+        noqa = noqa_lines("x = 1  # repro: noqa[RP001, rp002]\ny = 2\n")
+        assert is_suppressed(noqa, 1, "RP001")
+        assert is_suppressed(noqa, 1, "RP002")
+        assert not is_suppressed(noqa, 1, "RP003")
+        assert not is_suppressed(noqa, 2, "RP001")
+
+
+VIOLATION = {
+    ENGINE: """\
+    import time
+
+    def run(sim):
+        return time.time()
+    """
+}
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        result = scan(root)
+        assert len(result.findings) == 1
+        path = root / DEFAULT_BASELINE_NAME
+        assert write_baseline(path, result.findings) == 1
+        fresh, baselined = load_baseline(path).apply(result.findings)
+        assert fresh == []
+        assert len(baselined) == 1
+
+    def test_reasons_survive_regeneration(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        result = scan(root)
+        path = root / DEFAULT_BASELINE_NAME
+        write_baseline(path, result.findings)
+        payload = json.loads(path.read_text())
+        payload["entries"][0]["reason"] = "intentional wall-clock probe"
+        path.write_text(json.dumps(payload))
+        previous = load_baseline(path)
+        write_baseline(path, result.findings, previous)
+        regenerated = load_baseline(path)
+        assert list(regenerated.reasons.values()) == [
+            "intentional wall-clock probe"
+        ]
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        result = scan(root)
+        path = root / DEFAULT_BASELINE_NAME
+        write_baseline(path, result.findings)
+        baseline = load_baseline(path)
+        stale = baseline.stale_entries([])
+        assert len(stale) == 1
+        assert stale[0][0] == "RP001"
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        path.write_text('{"entries": [{"rule": "RP001"}]}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestCli:
+    def test_violation_exits_one_with_text_report(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        out = io.StringIO()
+        assert main([str(root)], out=out) == 1
+        text = out.getvalue()
+        assert "RP001" in text
+        assert "src/repro/engine/mod.py:4" in text
+
+    def test_json_format(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        out = io.StringIO()
+        assert main([str(root), "--format", "json"], out=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["version"] == 1
+        assert payload["checked_files"] == 1
+        assert payload["baselined"] == 0
+        assert [f["rule"] for f in payload["findings"]] == ["RP001"]
+
+    def test_write_baseline_then_gate_passes(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        out = io.StringIO()
+        assert main([str(root), "--write-baseline"], out=out) == 0
+        assert main([str(root)], out=out) == 0
+        assert main([str(root), "--no-baseline"], out=out) == 1
+
+    def test_broken_baseline_exits_two(self, tmp_path):
+        root = project(tmp_path, dict(VIOLATION))
+        (root / DEFAULT_BASELINE_NAME).write_text("not json")
+        assert main([str(root)], out=io.StringIO()) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")], out=io.StringIO()) == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert main(["--list-rules"], out=out) == 0
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("RP001")
+
+
+class TestSelfScan:
+    """The repo's own tree must pass its own gate (CI runs this too)."""
+
+    def test_src_and_benchmarks_have_no_unbaselined_findings(self):
+        result = analyze_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+        )
+        assert result.checked_files > 50
+        baseline_path = REPO_ROOT / DEFAULT_BASELINE_NAME
+        baseline = Baseline()
+        if baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        fresh, _ = baseline.apply(result.findings)
+        assert [f.render_text() for f in fresh] == []
+
+    def test_cli_gate_passes_on_repo(self):
+        out = io.StringIO()
+        code = main(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")], out=out
+        )
+        assert code == 0
