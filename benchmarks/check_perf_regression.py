@@ -3,8 +3,8 @@
 Usage::
 
     python benchmarks/check_perf_regression.py \
-        --baseline benchmarks/baselines/BENCH_7.json \
-        --fresh BENCH_7.json [--wall-tolerance 0.30]
+        --baseline benchmarks/baselines/BENCH_10.json \
+        --fresh BENCH_10.json [--wall-tolerance 0.30]
 
 Compares every scenario of the fresh ``test_wallclock.py`` artifact to
 the committed baseline and exits non-zero when:

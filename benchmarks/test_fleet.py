@@ -1,0 +1,260 @@
+"""Fleet tier: server-level chaos over a sharded, replicated fleet.
+
+The PR-10 acceptance scenario: an :class:`EngineFleet` of four backends
+(two range shards of ``lineorder``, two replicas each) loses a whole
+replica mid-scatter-gather and every submitted query must still reach a
+typed terminal status with rows **byte-identical** to a single
+unsharded server — shard-level re-association of the SSB aggregates is
+exact (integer sums in float64), so sharding plus failover must be
+invisible in the results.
+
+The fast smoke (default tier) covers the loss-mid-drive scenario,
+hedged dispatch conservation, and per-seed determinism; the
+``--runslow`` tier drives the full server-fault mix (loss + stall
+windows + dispatch-timeout watchdog) and asserts probe-driven breaker
+recovery.
+"""
+
+import pytest
+
+from repro.engine.config import ExecutionConfig
+from repro.engine.failover import (
+    FAILOVER_CLASSES,
+    BreakerPolicy,
+    FailoverPolicy,
+)
+from repro.engine.faults import FaultPlan, ServerLossFault, ServerStallFault
+from repro.engine.fleet import EngineFleet
+from repro.engine.proteus import Proteus
+from repro.ssb import generate_ssb, load_ssb, ssb_query
+
+SMOKE_BATCH = ["Q1.1", "Q2.1", "Q3.1", "Q1.2"]
+SWEEP_BATCH = ["Q1.1", "Q2.1", "Q3.1", "Q4.1", "Q1.2", "Q2.2"]
+
+#: every attempt outcome the typed log may carry
+TYPED_OUTCOMES = FAILOVER_CLASSES | {"ok", "hedge_loser", "fatal"}
+
+
+@pytest.fixture(scope="module")
+def tables(settings):
+    return generate_ssb(scale_factor=settings.physical_sf, seed=42)
+
+
+@pytest.fixture(scope="module")
+def single_server_rows(tables, settings):
+    """Reference rows from one unsharded engine (same physical data)."""
+    engine = Proteus(segment_rows=settings.segment_rows)
+    load_ssb(engine, tables=tables)
+    config = _config(settings)
+    return {
+        qid: engine.query(ssb_query(qid), config)
+        for qid in set(SMOKE_BATCH + SWEEP_BATCH)
+    }
+
+
+def _config(settings):
+    return ExecutionConfig.cpu_only(4, block_tuples=settings.block_tuples)
+
+
+def _trace(query):
+    """The typed attempt log as comparable tuples, in dispatch order."""
+    return [(a.replica, a.outcome, a.started, a.elapsed) for a in query.attempts()]
+
+
+def _fleet(settings, tables, **kwargs):
+    kwargs.setdefault("server_kwargs", {"max_concurrent": 4})
+    fleet = EngineFleet(
+        num_servers=4,
+        replication=2,
+        segment_rows=settings.segment_rows,
+        **kwargs,
+    )
+    fleet.load_tables(tables, fact="lineorder")
+    return fleet
+
+
+def _assert_byte_identical(query, reference):
+    """Sharded scatter-gather must be invisible in the rows."""
+    expected = reference[query.name]
+    assert query.result.columns == expected.columns, query.name
+    if query.plan.order or len(expected.rows) <= 1:
+        # ORDER BY (or a scalar row): the merged order is contractual
+        assert query.result.rows == expected.rows, query.name
+    else:
+        assert sorted(query.result.rows) == sorted(expected.rows), query.name
+
+
+def _assert_graceful(fleet, report, reference):
+    """The fleet acceptance contract, shared by both tiers."""
+    assert report.queries, "the drive produced no fleet queries at all"
+    for query in report.queries:
+        assert query.finished, query.name
+        if query.status == "failed":
+            assert query.error is not None, query.name
+            assert query.error_class is not None, query.name
+        else:
+            _assert_byte_identical(query, reference)
+        # the typed attempt log: every hop resolved, every outcome typed
+        for shard, chain in query.chains.items():
+            chain.assert_closed()
+            for attempt in chain.attempts:
+                assert attempt.outcome in TYPED_OUTCOMES, (query.name, shard)
+                assert attempt.elapsed >= 0.0
+    # budgets and staging arenas conserved on EVERY backend, dead or not
+    fleet.check_conservation()
+
+
+class TestFleetFailoverSmoke:
+    """Fast fleet smoke: runs in the default (tier-1) suite."""
+
+    def test_server_loss_mid_scatter_gather_is_byte_identical(
+        self, tables, single_server_rows, settings
+    ):
+        plan = FaultPlan(
+            seed=7,
+            server_losses=(ServerLossFault(server_id="srv0", at_seconds=1e-3),),
+        )
+        fleet = _fleet(settings, tables, fault_plan=plan)
+        config = _config(settings)
+        for qid in SMOKE_BATCH:
+            fleet.submit(ssb_query(qid), config, name=qid)
+        report = fleet.run()
+        print("\n" + report.summary())
+        _assert_graceful(fleet, report, single_server_rows)
+        # the loss actually fired mid-drive and the fleet failed over
+        assert report.server_losses == 1
+        assert report.lost_servers == ["srv0"]
+        assert report.breaker_states["srv0"] == "open"
+        assert report.failovers_by_outcome.get("server_lost", 0) >= 1
+        # ... and every query still completed with identical rows
+        assert all(q.status == "done" for q in report.queries)
+        # the metrics surface grew the fleet families, with real traffic
+        assert report.metrics["repro_fleet_server_losses_total"]["values"][""] == 1.0
+        dispatches = report.metrics["repro_fleet_dispatches_total"]["values"]
+        assert sum(dispatches.values()) == sum(report.dispatches.values())
+        failovers = report.metrics["repro_fleet_failovers_total"]["values"]
+        assert failovers['{outcome="server_lost"}'] >= 1.0
+
+    def test_hedged_dispatch_first_response_wins_and_conserves(
+        self, tables, single_server_rows, settings
+    ):
+        fleet = _fleet(
+            settings,
+            tables,
+            failover=FailoverPolicy(max_attempts=3, hedge_delay_seconds=0.05),
+        )
+        config = _config(settings)
+        for qid in SMOKE_BATCH:
+            fleet.submit(ssb_query(qid), config, name=qid)
+        report = fleet.run()
+        print("\n" + report.summary())
+        _assert_graceful(fleet, report, single_server_rows)
+        assert all(q.status == "done" for q in report.queries)
+        # hedges actually launched (queries run long past the delay) and
+        # every loser was cancelled without leaking budget or staging
+        losers = [
+            a
+            for q in report.queries
+            for a in q.attempts()
+            if a.outcome == "hedge_loser"
+        ]
+        assert losers, "no hedge ever launched; lower hedge_delay_seconds"
+        hedges = report.metrics["repro_fleet_hedges_total"]["values"]
+        assert sum(hedges.values()) >= len(losers)
+
+    def test_fleet_chaos_is_deterministic_per_seed(self, tables, settings):
+        def drive():
+            plan = FaultPlan(
+                seed=11,
+                server_losses=(ServerLossFault(server_id="srv2", at_seconds=2e-3),),
+            )
+            fleet = _fleet(
+                settings,
+                tables,
+                fault_plan=plan,
+                failover=FailoverPolicy(max_attempts=4, hedge_delay_seconds=0.06),
+            )
+            config = _config(settings)
+            for qid in SMOKE_BATCH:
+                fleet.submit(ssb_query(qid), config, name=qid)
+            report = fleet.run()
+            fleet.check_conservation()
+            return report
+
+        first, second = drive(), drive()
+        assert first.makespan == second.makespan
+        assert first.dispatches == second.dispatches
+        assert first.failovers_by_outcome == second.failovers_by_outcome
+        for a, b in zip(first.queries, second.queries):
+            assert (a.name, a.status, a.latency) == (b.name, b.status, b.latency)
+            assert _trace(a) == _trace(b)
+
+
+@pytest.mark.slow
+class TestFleetChaosSweep:
+    """The full fleet fault mix: loss + stall + watchdog, with recovery."""
+
+    def _drive(self, tables, settings):
+        plan = FaultPlan(
+            seed=23,
+            server_losses=(ServerLossFault(server_id="srv3", at_seconds=5e-3),),
+            server_stalls=(
+                ServerStallFault(
+                    server_id="srv1", at_seconds=0.0, duration_seconds=0.05
+                ),
+            ),
+        )
+        fleet = _fleet(
+            settings,
+            tables,
+            fault_plan=plan,
+            failover=FailoverPolicy(
+                max_attempts=4,
+                backoff_seconds=1e-3,
+                dispatch_timeout_seconds=0.5,
+                hedge_delay_seconds=0.2,
+            ),
+            breaker=BreakerPolicy(failure_threshold=2, open_seconds=0.01),
+            probe_interval_seconds=0.005,
+        )
+        config = _config(settings)
+        for qid in SWEEP_BATCH:
+            fleet.submit(ssb_query(qid), config, name=qid)
+        report = fleet.run()
+        return fleet, report
+
+    def test_loss_and_stall_mix_degrades_gracefully(
+        self, tables, single_server_rows, settings
+    ):
+        fleet, report = self._drive(tables, settings)
+        print("\n" + report.summary())
+        _assert_graceful(fleet, report, single_server_rows)
+        # both faults really happened
+        assert report.server_losses == 1
+        assert report.lost_servers == ["srv3"]
+        kinds = [event["kind"] for event in report.events]
+        assert "server_stall" in kinds
+        assert "server_loss" in kinds
+        # the stalled server's breaker opened on failed probes and was
+        # probed back to closed after the window — recovery is
+        # probe-driven, not time-healed
+        stalled = [
+            event
+            for event in report.events
+            if event["kind"].startswith("breaker") and event["server"] == "srv1"
+        ]
+        assert [event["kind"] for event in stalled][0] == "breaker_open"
+        assert "breaker_closed" in [event["kind"] for event in stalled]
+        assert report.breaker_states["srv1"] == "closed"
+        # degradation, not collapse: the lost replica's shard queries
+        # completed on the surviving replica with identical rows
+        assert all(q.status == "done" for q in report.queries)
+
+    def test_sweep_is_deterministic_per_seed(self, tables, settings):
+        _, first = self._drive(tables, settings)
+        _, second = self._drive(tables, settings)
+        assert first.makespan == second.makespan
+        assert first.failovers_by_outcome == second.failovers_by_outcome
+        first_rows = [(q.name, q.status, q.latency) for q in first.queries]
+        second_rows = [(q.name, q.status, q.latency) for q in second.queries]
+        assert first_rows == second_rows

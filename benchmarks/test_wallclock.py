@@ -1,15 +1,16 @@
-"""Wall-clock perf harness: times the default-tier drives, writes BENCH_7.json.
+"""Wall-clock perf harness: times the default-tier drives, writes BENCH_10.json.
 
 Simulated seconds are the repository's *fidelity* metric; this harness
 tracks the *cost of producing them* — real wall-clock time of the
-default-tier SSB figure drive and the multi-query throughput drive — so
-the perf trajectory of the reproduction itself is visible per PR.  The
-benchmark-smoke CI job uploads the fresh JSON artifact **and diffs it
-against the committed baseline** (``benchmarks/baselines/BENCH_7.json``)
-with ``benchmarks/check_perf_regression.py``: >30 % wall-clock
-regression or *any* simulated-seconds drift fails the build.
+default-tier SSB figure drive, the multi-query throughput drive, and
+the fleet failover drive — so the perf trajectory of the reproduction
+itself is visible per PR.  The benchmark-smoke CI job uploads the fresh
+JSON artifact **and diffs it against the committed baseline**
+(``benchmarks/baselines/BENCH_10.json``) with
+``benchmarks/check_perf_regression.py``: >30 % wall-clock regression or
+*any* simulated-seconds drift fails the build.
 
-Schema (``BENCH_7.json``)::
+Schema (``BENCH_10.json``)::
 
     {scenario: {"wall_seconds": float,
                 "simulated_seconds": float,
@@ -38,11 +39,11 @@ from repro.ssb.loader import working_set_bytes
 from repro.ssb.queries import SSB_QUERY_IDS
 
 #: where the fresh artifact lands (repo root, gitignored; CI uploads it
-#: and gates on it against benchmarks/baselines/BENCH_7.json)
+#: and gates on it against benchmarks/baselines/BENCH_10.json)
 BENCH_PATH = os.environ.get(
     "BENCH_PATH",
     os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_7.json"
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_10.json"
     ),
 )
 
@@ -106,6 +107,40 @@ def _scenario_multiquery(settings, tables):
     }
 
 
+def _scenario_fleet_failover(settings, tables):
+    """The PR-10 fleet drive: replica loss mid-scatter-gather."""
+    from repro.engine.faults import FaultPlan, ServerLossFault
+    from repro.engine.fleet import EngineFleet
+
+    plan = FaultPlan(
+        seed=7,
+        server_losses=(ServerLossFault(server_id="srv0", at_seconds=1e-3),),
+    )
+    fleet = EngineFleet(
+        num_servers=4,
+        replication=2,
+        segment_rows=settings.segment_rows,
+        fault_plan=plan,
+        server_kwargs={"max_concurrent": 4},
+    )
+    fleet.load_tables(tables, fact="lineorder")
+    config = ExecutionConfig.cpu_only(4, block_tuples=settings.block_tuples)
+    batch = ["Q1.1", "Q2.1", "Q3.1", "Q1.2"]
+    start = time.perf_counter()
+    for qid in batch:
+        fleet.submit(ssb_query(qid), config, name=qid)
+    report = fleet.run()
+    wall = time.perf_counter() - start
+    fleet.check_conservation()
+    assert len(report.completed) == len(batch)
+    assert report.server_losses == 1
+    return {
+        "wall_seconds": wall,
+        "simulated_seconds": report.makespan,
+        "throughput": len(report.completed) / wall,
+    }
+
+
 @pytest.fixture(scope="module")
 def bench(settings, tables):
     results = {
@@ -114,6 +149,7 @@ def bench(settings, tables):
             settings, tables, prefetch_depth=1
         ),
         "multiquery_mixed_batch": _scenario_multiquery(settings, tables),
+        "fleet_failover": _scenario_fleet_failover(settings, tables),
     }
     with open(BENCH_PATH, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
@@ -138,7 +174,7 @@ def test_bench_written_with_schema(bench):
 
 
 def test_wallclock_numbers_are_sane(bench):
-    print("\n=== BENCH_7 (wall-clock perf) ===")
+    print("\n=== BENCH_10 (wall-clock perf) ===")
     for scenario, row in sorted(bench.items()):
         print(
             f"  {scenario:28s} wall={row['wall_seconds']:.2f}s "

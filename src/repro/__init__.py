@@ -24,8 +24,9 @@ Packages:
   placement;
 * :mod:`repro.storage`, :mod:`repro.memory` — columnar storage and the
   block/state memory managers;
-* :mod:`repro.engine` — the executor, the :class:`Proteus` facade, and
-  the multi-query :class:`EngineServer` (admission control + scheduling);
+* :mod:`repro.engine` — the executor, the :class:`Proteus` facade, the
+  multi-query :class:`EngineServer` (admission control + scheduling), and
+  the sharded/replicated :class:`EngineFleet` (scatter-gather + failover);
 * :mod:`repro.baselines` — the DBMS C / DBMS G proxies;
 * :mod:`repro.ssb` — the Star Schema Benchmark generator and queries.
 """
@@ -33,21 +34,26 @@ Packages:
 from .algebra.expressions import col, lit
 from .algebra.logical import OrderSpec, agg_count, agg_max, agg_min, agg_sum, scan
 from .engine.config import CachePolicy, ElasticPolicy, ExecutionConfig, QoS
+from .engine.failover import BreakerPolicy, FailoverPolicy
 from .engine.faults import FaultPlan, RetryPolicy
+from .engine.fleet import EngineFleet
 from .engine.proteus import Proteus
 from .engine.results import QueryResult
 from .engine.scheduler import EngineServer, ResourceBudget
 from .hardware.specs import PAPER_SERVER, ServerSpec
 from .jit.cache import SharedCacheDirectory
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Proteus",
     "EngineServer",
+    "EngineFleet",
     "ResourceBudget",
     "FaultPlan",
     "RetryPolicy",
+    "FailoverPolicy",
+    "BreakerPolicy",
     "CachePolicy",
     "SharedCacheDirectory",
     "ElasticPolicy",

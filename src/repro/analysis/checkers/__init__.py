@@ -11,4 +11,5 @@ from . import (  # noqa: F401
     rp004_exceptions,
     rp005_metrics_schema,
     rp006_config_hygiene,
+    rp007_failover,
 )

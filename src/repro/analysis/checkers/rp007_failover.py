@@ -1,0 +1,144 @@
+"""RP007: failover discipline — no silent drop of a FallbackChain hop.
+
+The fleet's acceptance contract audits the typed attempt log: every
+replica dispatch (`FallbackChain.begin_attempt`) must be resolved with a
+typed outcome (`resolve(hop, outcome)`) on *every* path — success,
+failure, hedge loss, watchdog kill.  A hop that is opened and silently
+dropped erases a failover from the record the report and the
+``repro_fleet_*`` metrics are built from, and trips the runtime
+backstop (``FallbackChain.assert_closed``) only if someone remembers to
+call it.
+
+The statically checkable shapes:
+
+* a ``begin_attempt()`` whose hop handle is **discarded** (a bare
+  expression statement) can never be resolved — always a bug;
+* a function that binds the handle to a **local** owns the hop's life
+  cycle, so it must show resolution on both the success and the failure
+  path: at least two ``resolve()`` calls, or one under a ``finally:``;
+* a function that lets the handle **escape** — returns it, stores it on
+  an attribute/subscript (``entry["hop"] = ...``), or passes it into
+  another call — delegates resolution to its caller and is exempt here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..astutil import FUNCTION_NODES, scope_calls, walk_scope
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+_STATEMENTS = (
+    ast.Return,
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+)
+
+
+@register
+class FailoverDisciplineChecker(Checker):
+    rule_id = "RP007"
+    title = "failover hops must resolve a typed attempt outcome"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_engine_tree:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, FUNCTION_NODES):
+                continue
+            begins = [
+                call
+                for call in scope_calls(fn)
+                if isinstance(call.func, ast.Attribute)
+                and call.func.attr == "begin_attempt"
+            ]
+            if not begins:
+                continue
+            parents = _parent_map(fn)
+            has_evidence: Optional[bool] = None  # computed lazily
+            for call in begins:
+                usage = _classify_usage(call, parents)
+                if usage == "escaped":
+                    continue
+                if usage == "discarded":
+                    yield self.finding(
+                        ctx,
+                        call.lineno,
+                        "begin_attempt() hop handle is discarded: the hop "
+                        "can never be resolved — bind the handle and "
+                        "resolve(hop, outcome) on every path",
+                    )
+                    continue
+                if has_evidence is None:
+                    has_evidence = _resolves_both_paths(fn)
+                if not has_evidence:
+                    yield self.finding(
+                        ctx,
+                        call.lineno,
+                        "begin_attempt() opens a hop this scope never "
+                        "resolves on both paths: record a typed outcome "
+                        "via resolve() on success AND failure (or one "
+                        "resolve under a finally:), or hand the hop "
+                        "handle to the caller",
+                    )
+
+
+def _parent_map(fn: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fn):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _classify_usage(call: ast.Call, parents: dict) -> str:
+    """How the ``begin_attempt()`` value is used: escaped / local /
+    discarded."""
+    child: ast.AST = call
+    node = parents.get(call)
+    while node is not None and not isinstance(node, _STATEMENTS):
+        if isinstance(node, ast.Call) and node is not call:
+            # the handle is an argument to another call: the callee
+            # (or whatever structure it builds) owns resolution
+            return "escaped"
+        child, node = node, parents.get(node)
+    if isinstance(node, ast.Return):
+        return "escaped"
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in targets
+        ):
+            # stored on an object the caller holds (entry["hop"] = ...)
+            return "escaped"
+        return "local"
+    if isinstance(node, ast.Expr) and node.value is child:
+        return "discarded"
+    return "local"
+
+
+def _resolves_both_paths(fn: ast.AST) -> bool:
+    """Two resolve() calls (one per path), or one under a finally."""
+    resolves = [
+        call
+        for call in scope_calls(fn)
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "resolve"
+    ]
+    if len(resolves) >= 2:
+        return True
+    if not resolves:
+        return False
+    for node in walk_scope(fn):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for inner in ast.walk(stmt):
+                if inner in resolves:
+                    return True
+    return False

@@ -42,8 +42,9 @@ def _collect_scalar(spec, partials, profile) -> QueryResult:
     merged: dict[str, Any] = {agg.alias: agg_identity(agg.kind) for agg in spec.aggs}
     for partial in partials:
         for agg in spec.aggs:
-            merged[agg.alias] = merge_agg(agg.kind, merged[agg.alias],
-                                          partial[agg.alias])
+            merged[agg.alias] = merge_agg(
+                agg.kind, merged[agg.alias], partial[agg.alias]
+            )
     for agg in spec.aggs:
         if agg.kind == "count":
             merged[agg.alias] = int(merged[agg.alias])
@@ -63,8 +64,9 @@ def _collect_groups(spec, partials, profile, dictionary_of) -> QueryResult:
                 merged[key] = dict(values)
             else:
                 for agg in spec.aggs:
-                    row[agg.alias] = merge_agg(agg.kind, row[agg.alias],
-                                               values[agg.alias])
+                    row[agg.alias] = merge_agg(
+                        agg.kind, row[agg.alias], values[agg.alias]
+                    )
     columns = list(spec.keys) + [a.alias for a in spec.aggs]
     dictionaries = {name: dictionary_of(name) for name in spec.keys}
     rows = []
@@ -82,9 +84,7 @@ def _collect_rows(spec, row_blocks, profile, dictionary_of) -> QueryResult:
     if not row_blocks:
         return QueryResult(columns=[], rows=[], profile=profile)
     columns = list(row_blocks[0].keys())
-    arrays = {
-        name: np.concatenate([b[name] for b in row_blocks]) for name in columns
-    }
+    arrays = {name: np.concatenate([b[name] for b in row_blocks]) for name in columns}
     dictionaries = {name: dictionary_of(name) for name in columns}
     rows = []
     for i in range(len(arrays[columns[0]])):
@@ -100,7 +100,9 @@ def _collect_rows(spec, row_blocks, profile, dictionary_of) -> QueryResult:
     return QueryResult(columns=columns, rows=rows, profile=profile)
 
 
-def order_rows(rows: list[tuple], columns: list[str], spec: CollectSpec) -> list[tuple]:
+def order_rows(
+    rows: list[tuple], columns: list[str], spec: CollectSpec
+) -> list[tuple]:
     """Apply ORDER BY (stable, multi-key) and LIMIT."""
     for order in reversed(spec.order):
         try:

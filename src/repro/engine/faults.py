@@ -17,7 +17,14 @@ unit tests:
   armed together with ``transfer_timeout_seconds`` a straggling DMA
   trips a typed :class:`~repro.core.mem_move.TransferTimeout`;
 * **spurious aborts** — :class:`SpuriousAbortFault` interrupts a running
-  query's driver at a simulated time (an abort storm in miniature).
+  query's driver at a simulated time (an abort storm in miniature);
+* **server loss / server stall** — :class:`ServerLossFault` and
+  :class:`ServerStallFault` are *fleet-scope* faults: an
+  :class:`~repro.engine.fleet.EngineFleet` arms them against one of its
+  backends (a whole :class:`~repro.engine.scheduler.EngineServer` dies,
+  or stops responding for a window).  A single-server
+  :class:`FaultInjector` ignores them — there is no "rest of the fleet"
+  to degrade onto.
 
 Everything is deterministic per :attr:`FaultPlan.seed`: the injector
 draws from its own ``random.Random`` and all firing times are simulated
@@ -28,6 +35,12 @@ device loss, transfer timeouts and aborts are *retryable* (the
 scheduler's :class:`RetryPolicy` re-admits the query on a placement
 excluding dead devices, falling back to CPU-only); anything else —
 plan bugs, out-of-device-memory, placement errors — stays *fatal*.
+Server-level failures (:class:`ServerLostError`,
+:class:`ServerStallTimeout`) are typed but **not** retryable at the
+server: no reshaped placement inside a lost or partitioned server can
+help.  The fleet's :class:`~repro.engine.failover.FallbackChain`
+re-dispatches them to another replica instead (see
+``FAILOVER_CLASSES`` in :mod:`repro.engine.failover`).
 """
 
 from __future__ import annotations
@@ -43,9 +56,13 @@ from ..hardware.topology import DeviceLostError, Server
 __all__ = [
     "DeviceLostError",
     "TransferTimeout",
+    "ServerLostError",
+    "ServerStallTimeout",
     "DeviceLossFault",
     "StragglerFault",
     "SpuriousAbortFault",
+    "ServerLossFault",
+    "ServerStallFault",
     "FaultPlan",
     "FaultInjector",
     "RetryPolicy",
@@ -58,13 +75,40 @@ __all__ = [
 RETRYABLE_CLASSES = ("device_lost", "transfer_timeout", "aborted")
 
 
+class ServerLostError(RuntimeError):
+    """A whole engine server died; its in-flight queries are gone.
+
+    Raised into a session's driver (as an :class:`Interrupt` cause) when
+    a fleet-level :class:`ServerLossFault` fires.  Not retryable at the
+    server — the fleet re-dispatches the shard query to another replica.
+    """
+
+
+class ServerStallTimeout(RuntimeError):
+    """A dispatch to a stalled/partitioned server exceeded its timeout.
+
+    Raised by the fleet dispatcher's watchdog when a backend stops
+    responding (:class:`ServerStallFault`); the in-flight session is
+    cancelled with this as the typed cause, and the shard query fails
+    over to the next live replica.
+    """
+
+
 def classify_failure(error: BaseException) -> tuple[str, bool]:
     """Map an exception chain to a ``(class, retryable)`` pair.
 
     Walks ``__cause__``/``__context__`` (the executor wraps worker
     failures in :class:`~repro.engine.executor.QueryError` ``from`` the
     root cause) looking for the typed chaos failures; everything else
-    classifies ``("fatal", False)``.
+    classifies ``("fatal", False)``.  An :class:`Interrupt` carrying an
+    exception as its ``cause`` is classified by that cause (the fleet
+    interrupts drivers with :class:`ServerLostError` /
+    :class:`ServerStallTimeout` instances); a plain string cause stays
+    the chaos tier's retryable ``aborted``.
+
+    ``retryable`` means "a reshaped placement *within this server*
+    could help" — so server-level failures are typed but not
+    server-retryable; the fleet's failover layer owns those.
     """
     seen: set[int] = set()
     exc: Optional[BaseException] = error
@@ -74,7 +118,16 @@ def classify_failure(error: BaseException) -> tuple[str, bool]:
             return "device_lost", True
         if isinstance(exc, TransferTimeout):
             return "transfer_timeout", True
+        if isinstance(exc, ServerLostError):
+            return "server_lost", False
+        if isinstance(exc, ServerStallTimeout):
+            return "stall_timeout", False
         if isinstance(exc, Interrupt):
+            if isinstance(exc.cause, BaseException):
+                # an interrupt delivering a typed failure: classify the
+                # payload, not the delivery mechanism
+                exc = exc.cause
+                continue
             return "aborted", True
         exc = exc.__cause__ or exc.__context__
     return "fatal", False
@@ -95,9 +148,7 @@ class DeviceLossFault:
 
     def __post_init__(self):
         if (self.at_seconds is None) == (self.at_phase_boundary is None):
-            raise ValueError(
-                "specify exactly one of at_seconds / at_phase_boundary"
-            )
+            raise ValueError("specify exactly one of at_seconds / at_phase_boundary")
         if self.at_seconds is not None and self.at_seconds < 0:
             raise ValueError("at_seconds must be >= 0")
         if self.at_phase_boundary is not None and self.at_phase_boundary < 1:
@@ -136,8 +187,55 @@ class SpuriousAbortFault:
 
 
 @dataclass(frozen=True)
+class ServerLossFault:
+    """Kill a whole fleet backend at ``at_seconds`` of simulated time.
+
+    ``server_id`` names the :class:`~repro.engine.fleet.EngineFleet`
+    backend (``"srv0"``, ``"srv1"``, ...).  Fleet-scope: a lost server's
+    in-flight and queued sessions fail typed (``server_lost``), its
+    circuit breaker is forced open, and it never recovers for the rest
+    of the drive.
+    """
+
+    server_id: str
+    at_seconds: float
+
+    def __post_init__(self):
+        if self.at_seconds < 0:
+            raise ValueError("at_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServerStallFault:
+    """Partition a fleet backend for ``[at_seconds, at_seconds + duration)``.
+
+    A stalled server keeps computing but stops responding to the fleet:
+    health probes fail for the window (opening the breaker) and the
+    dispatcher's watchdog times dispatches out (``stall_timeout``).
+    Probes succeed again once the window passes, driving the breaker
+    through half-open back to closed.
+    """
+
+    server_id: str
+    at_seconds: float
+    duration_seconds: float
+
+    def __post_init__(self):
+        if self.at_seconds < 0:
+            raise ValueError("at_seconds must be >= 0")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
-    """The full, seeded chaos schedule for one engine server run."""
+    """The full, seeded chaos schedule for one engine server (or fleet) run.
+
+    ``server_losses``/``server_stalls`` are fleet-scope entries: they
+    are armed by an :class:`~repro.engine.fleet.EngineFleet` against its
+    backends and ignored by a single server's :class:`FaultInjector`
+    (one server has no fleet to degrade onto).
+    """
 
     seed: int = 0
     device_losses: tuple = ()
@@ -146,10 +244,16 @@ class FaultPlan:
     #: typed TransferTimeout when one DMA's end-to-end latency exceeds
     #: this (straggler-injected transfers are the usual trigger)
     transfer_timeout_seconds: Optional[float] = None
+    #: fleet-scope: whole-backend deaths (:class:`ServerLossFault`)
+    server_losses: tuple = ()
+    #: fleet-scope: backend stall windows (:class:`ServerStallFault`)
+    server_stalls: tuple = ()
 
     def __post_init__(self):
         object.__setattr__(self, "device_losses", tuple(self.device_losses))
         object.__setattr__(self, "aborts", tuple(self.aborts))
+        object.__setattr__(self, "server_losses", tuple(self.server_losses))
+        object.__setattr__(self, "server_stalls", tuple(self.server_stalls))
         if (
             self.transfer_timeout_seconds is not None
             and self.transfer_timeout_seconds <= 0
@@ -207,7 +311,9 @@ class FaultInjector:
         self.plan = plan
         self.rng = random.Random(plan.seed)
         self.counts = {
-            "device_losses": 0, "stragglers": 0, "spurious_aborts": 0,
+            "device_losses": 0,
+            "stragglers": 0,
+            "spurious_aborts": 0,
         }
         #: (simulated time, kind, detail) log of every fired fault
         self.events: list[tuple[float, str, str]] = []
@@ -232,9 +338,7 @@ class FaultInjector:
         if self.rng.random() >= spec.probability:
             return 1.0
         self.counts["stragglers"] += 1
-        self.events.append(
-            (self.sim.now, "straggler", f"x{spec.multiplier:g}")
-        )
+        self.events.append((self.sim.now, "straggler", f"x{spec.multiplier:g}"))
         return spec.multiplier
 
     def arm(self) -> None:
@@ -249,9 +353,7 @@ class FaultInjector:
                     name=f"chaos:lose-gpu{fault.gpu_id}",
                 )
         for number, fault in enumerate(self.plan.aborts):
-            self.sim.process(
-                self._timed_abort(fault), name=f"chaos:abort{number}"
-            )
+            self.sim.process(self._timed_abort(fault), name=f"chaos:abort{number}")
 
     def on_phase_boundary(self) -> None:
         """Scheduler hook: any query crossed one dependency-wave gap."""
@@ -281,9 +383,7 @@ class FaultInjector:
         self._fired.add(index)
         if self.server.fail_device(fault.gpu_id, reason="chaos"):
             self.counts["device_losses"] += 1
-            self.events.append(
-                (self.sim.now, "device_loss", f"gpu{fault.gpu_id}")
-            )
+            self.events.append((self.sim.now, "device_loss", f"gpu{fault.gpu_id}"))
 
     def _timed_loss(self, index: int, fault: DeviceLossFault):
         yield self.sim.timeout(max(0.0, fault.at_seconds - self.sim.now))

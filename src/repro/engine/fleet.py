@@ -1,0 +1,1103 @@
+"""A resilient fleet of engine servers behind a health-checked dispatcher.
+
+One :class:`~repro.engine.scheduler.EngineServer` owns the whole dataset
+and dies with it.  This module is the cluster-scale layer on top: an
+:class:`EngineFleet` owns N backends **on one shared simulator clock**
+(each a full :class:`~repro.engine.proteus.Proteus` +
+:class:`~repro.engine.scheduler.EngineServer`), gives each a *shard* of
+the fact table (contiguous range shards, R-way replicated across
+backends; dimension tables replicated in full), and fronts them with a
+dispatcher that:
+
+* routes each shard query to a replica by **locality + live load**
+  (replicas of the shard only, circuit-breaker-allowed first, then
+  least in-flight);
+* runs **scatter-gather** for multi-shard queries: one DES process per
+  shard, partial results merged with the same
+  ``agg_identity``/``merge_agg`` rules the single-server collector uses
+  (SSB aggregates are exact integer sums in float64, so the shard
+  re-association is byte-identical to a single-server run);
+* survives **server-level chaos**: seeded
+  :class:`~repro.engine.faults.ServerLossFault` /
+  :class:`~repro.engine.faults.ServerStallFault` entries on the
+  :class:`~repro.engine.faults.FaultPlan` kill or partition whole
+  backends mid-drive.  Periodic DES health probes drive a per-backend
+  :class:`~repro.engine.failover.CircuitBreaker`; every failed shard
+  dispatch is re-routed to the next live replica through a typed
+  :class:`~repro.engine.failover.FallbackChain` (bounded attempts,
+  per-hop ``(replica, outcome, elapsed)`` log,
+  :class:`~repro.engine.failover.FleetExhaustedError` when no replica
+  survives);
+* optionally **hedges** slow dispatches: after ``hedge_delay_seconds``
+  an unresolved hop launches a second dispatch on the next replica,
+  first response wins, and the loser is *cancelled* through
+  :meth:`EngineServer.cancel` — the driver's ``finally`` (and, through
+  it, ``abort_outstanding``) releases its budget and staging credits,
+  so hedging never leaks resources.
+
+Failure-model fine print: a **lost** server latches its breaker open
+and every in-flight session on it is cancelled with a typed
+:class:`~repro.engine.faults.ServerLostError`.  A **stalled** server
+models a control-plane partition: health probes fail for the window
+(opening the breaker) and a dispatch entering the window hangs at the
+fleet edge until the window lifts — with a ``dispatch_timeout_seconds``
+watchdog armed, the hang is cancelled as a typed
+:class:`~repro.engine.faults.ServerStallTimeout` and failed over
+instead.  After the window, the next probe runs the breaker's
+half-open trial and closes it: the recovery path is probe-driven, not
+time-healed.
+
+The fleet keeps its own ``repro_fleet_*`` metric families (dispatches,
+failovers by outcome, hedge wins/losses, per-server breaker state,
+terminal query statuses, server losses) on a dedicated registry, pumped
+off the hot path like the per-server surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..algebra.logical import LogicalGroupBy, LogicalReduce, Plan
+from ..hardware.sim import Simulator
+from ..jit.pipeline import agg_identity, merge_agg
+from ..storage.column import Column
+from ..storage.table import Table
+from .collect import order_rows
+from .config import ExecutionConfig
+from .failover import (
+    BREAKER_STATE_VALUES,
+    FAILOVER_CLASSES,
+    BreakerPolicy,
+    CircuitBreaker,
+    FailoverPolicy,
+    FallbackChain,
+    FleetExhaustedError,
+)
+from .faults import (
+    FaultPlan,
+    ServerLostError,
+    ServerStallTimeout,
+    classify_failure,
+)
+from .metrics import MetricsPump, MetricsRegistry
+from .proteus import Proteus
+from .results import QueryResult
+from .scheduler import (
+    AdmissionError,
+    BatchReport,
+    EngineServer,
+    QuerySession,
+    SchedulerError,
+)
+
+__all__ = [
+    "EngineFleet",
+    "FleetQuery",
+    "FleetReport",
+    "FleetServer",
+    "ShardMap",
+    "FailoverPolicy",
+    "BreakerPolicy",
+    "FleetExhaustedError",
+]
+
+#: hop outcomes that indict the *server* (and so trip its breaker), as
+#: opposed to query-level outcomes (shed, aborted) a healthy server
+#: produces under load
+_BREAKER_CLASSES = frozenset({"server_lost", "stall_timeout"})
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Contiguous range shards of the fact table, replicated R ways.
+
+    Backend ``b`` holds shard ``b % num_shards``, so with
+    ``num_servers=4, num_shards=2`` shard 0 lives on backends 0 and 2
+    and shard 1 on backends 1 and 3.  Range (not hash) sharding keeps
+    shard-order concatenation equal to table order, which is what makes
+    un-aggregated LIMIT results byte-identical to a single server.
+    """
+
+    num_servers: int
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        if not 1 <= self.num_shards <= self.num_servers:
+            raise ValueError(
+                f"num_shards must be in [1, num_servers]; got "
+                f"{self.num_shards} shards over {self.num_servers} servers"
+            )
+
+    @classmethod
+    def with_replication(cls, num_servers: int, replication: int) -> "ShardMap":
+        """R-way replication: every shard lands on >= R backends."""
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        return cls(num_servers, max(1, num_servers // replication))
+
+    def shard_of_server(self, server_index: int) -> int:
+        return server_index % self.num_shards
+
+    def replicas(self, shard: int) -> tuple[int, ...]:
+        """Backend indices holding ``shard``, ascending."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        return tuple(b for b in range(self.num_servers) if b % self.num_shards == shard)
+
+    def replication_of(self, shard: int) -> int:
+        return len(self.replicas(shard))
+
+    def row_range(self, shard: int, num_rows: int) -> tuple[int, int]:
+        """Half-open row range of ``shard`` in a ``num_rows`` fact table."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        lo = num_rows * shard // self.num_shards
+        hi = num_rows * (shard + 1) // self.num_shards
+        return lo, hi
+
+
+@dataclass
+class FleetServer:
+    """One backend of the fleet: a full engine plus fleet-side state."""
+
+    index: int
+    name: str
+    shard: int
+    server: EngineServer
+    breaker: CircuitBreaker
+    #: False once a ServerLossFault killed this backend
+    alive: bool = True
+    #: (start, end) control-plane partition windows, simulated seconds
+    stall_windows: tuple[tuple[float, float], ...] = ()
+    #: fleet dispatches currently outstanding on this backend (the
+    #: dispatcher's live-load signal)
+    inflight: int = 0
+    #: fleet dispatches ever routed here
+    dispatches: int = 0
+
+    def stalled(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self.stall_windows)
+
+    def stall_end(self, now: float) -> Optional[float]:
+        """End of the stall window covering ``now``, or None."""
+        for start, end in self.stall_windows:
+            if start <= now < end:
+                return end
+        return None
+
+
+@dataclass
+class FleetQuery:
+    """One query's life cycle across the fleet."""
+
+    query_id: int
+    name: str
+    plan: Plan
+    config: ExecutionConfig
+    #: 'pending' -> 'done' | 'failed' (fleet queries are never shed at
+    #: the fleet edge — a replica's shed is a failover hop outcome)
+    status: str = "pending"
+    submit_time: float = 0.0
+    finish_time: Optional[float] = None
+    result: Optional[QueryResult] = None
+    error: Optional[BaseException] = None
+    #: typed classification of the terminal failure (None unless failed)
+    error_class: Optional[str] = None
+    #: shard -> FallbackChain: the typed per-hop attempt log
+    chains: dict[Any, FallbackChain] = field(default_factory=dict)
+    #: shard -> merged-from QueryResult (multi-shard queries only)
+    shard_results: dict[Any, QueryResult] = field(default_factory=dict)
+    #: failed hops that were re-dispatched to another replica
+    failovers: int = 0
+    #: hedged dispatches whose second request won
+    hedge_wins: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    def attempts(self) -> list:
+        """Every resolved hop across all shards, in shard order."""
+        out = []
+        for shard in sorted(self.chains, key=lambda s: (s is None, s)):
+            out.extend(self.chains[shard].attempts)
+        return out
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one :meth:`EngineFleet.run` drive."""
+
+    queries: list[FleetQuery]
+    makespan: float
+    #: per-backend BatchReport, keyed by server name
+    server_reports: dict[str, BatchReport]
+    #: fleet dispatches per server name (lifetime)
+    dispatches: dict[str, int]
+    #: failed hops re-dispatched, by typed outcome
+    failovers_by_outcome: dict[str, int]
+    hedge_wins: int
+    server_losses: int
+    #: breaker state per server at end of drive
+    breaker_states: dict[str, str]
+    #: backends that finished the drive dead
+    lost_servers: list[str]
+    #: fleet-scope chaos/breaker event log, in simulated-time order
+    events: list[dict]
+    #: repro_fleet_* metrics snapshot at end of drive
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> list[FleetQuery]:
+        return [q for q in self.queries if q.status == "done"]
+
+    @property
+    def failed(self) -> list[FleetQuery]:
+        return [q for q in self.queries if q.status == "failed"]
+
+    @property
+    def failovers(self) -> int:
+        return sum(self.failovers_by_outcome.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet: {len(self.completed)} done, {len(self.failed)} failed "
+            f"in {self.makespan:.4f}s simulated; {self.failovers} "
+            f"failover(s), {self.hedge_wins} hedge win(s), "
+            f"{self.server_losses} server loss(es)"
+        ]
+        if self.failovers_by_outcome:
+            by_outcome = ", ".join(
+                f"{outcome} x{count}"
+                for outcome, count in sorted(self.failovers_by_outcome.items())
+            )
+            lines.append(f"  failovers by outcome: {by_outcome}")
+        for name in sorted(self.dispatches):
+            state = self.breaker_states.get(name, "?")
+            mark = "lost" if name in self.lost_servers else "up"
+            lines.append(
+                f"  {name:6s} {mark:4s} breaker={state:9s} "
+                f"dispatches={self.dispatches[name]}"
+            )
+        for query in self.queries:
+            mark = "ok" if query.status == "done" else "failed"
+            lat = f"{query.latency:.4f}s" if query.latency is not None else "-"
+            trail = "; ".join(f"{a.replica}={a.outcome}" for a in query.attempts())
+            extra = f" [{query.error_class}]" if query.status == "failed" else ""
+            lines.append(f"  {query.name:12s} {mark:7s} latency={lat}{extra} ({trail})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _ResultShape:
+    """The ORDER BY / LIMIT of the original plan, applied at the merge
+    (scattered shard plans run with both stripped)."""
+
+    order: Sequence
+    limit: Optional[int]
+
+
+class EngineFleet:
+    """N sharded/replicated engine servers behind a failover dispatcher.
+
+    Construction wires ``num_servers`` full engines onto **one** shared
+    :class:`~repro.hardware.sim.Simulator`; :meth:`load_tables` registers
+    the dataset (fact table range-sharded via :class:`ShardMap`,
+    everything else replicated); :meth:`submit` queues fleet queries and
+    :meth:`run` drives them all: scatter per shard, failover per the
+    :class:`~repro.engine.failover.FailoverPolicy`, gather + merge, one
+    :class:`FleetReport`.
+
+    ``fault_plan`` arms the *fleet-scope* entries
+    (:attr:`~repro.engine.faults.FaultPlan.server_losses` /
+    :attr:`~repro.engine.faults.FaultPlan.server_stalls`); device-level
+    chaos inside a single backend is configured per server via
+    ``server_kwargs={"fault_plan": ...}`` exactly as on a standalone
+    :class:`~repro.engine.scheduler.EngineServer`.  Note that hedging
+    composes poorly with a backend ``retry_policy``: a cancelled hedge
+    loser classifies as a retryable ``aborted`` failure and the backend
+    may locally re-run work the fleet already has an answer for —
+    fleet failover supersedes local retry, so leave the backend policy
+    off in fleet deployments.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 4,
+        *,
+        replication: int = 2,
+        num_shards: Optional[int] = None,
+        failover: Optional[FailoverPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        probe_interval_seconds: float = 0.0025,
+        fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        server_kwargs: Optional[dict] = None,
+        **engine_kwargs: Any,
+    ):
+        if probe_interval_seconds <= 0:
+            raise ValueError("probe_interval_seconds must be positive")
+        self.sim = Simulator()
+        self._clock = lambda: self.sim.now
+        self.shard_map = (
+            ShardMap(num_servers, num_shards)
+            if num_shards is not None
+            else ShardMap.with_replication(num_servers, replication)
+        )
+        self.failover = failover or FailoverPolicy()
+        self.breaker_policy = breaker or BreakerPolicy()
+        self.probe_interval_seconds = probe_interval_seconds
+        self.fault_plan = fault_plan
+        self._servers: list[FleetServer] = []
+        for index in range(num_servers):
+            engine = Proteus(sim=self.sim, **engine_kwargs)
+            server = EngineServer(engine=engine, **(server_kwargs or {}))
+            self._servers.append(
+                FleetServer(
+                    index=index,
+                    name=f"srv{index}",
+                    shard=self.shard_map.shard_of_server(index),
+                    server=server,
+                    breaker=CircuitBreaker(self.breaker_policy, self._clock),
+                )
+            )
+        self._by_name = {fs.name: fs for fs in self._servers}
+        #: fact-table name set by load_tables (None: nothing sharded,
+        #: every query is single-shard)
+        self._fact: Optional[str] = None
+        self._queries: list[FleetQuery] = []
+        self._next_id = 0
+        self._spawned: set[int] = set()
+        self._reported: set[int] = set()
+        self._armed = False
+        self._probe_proc_handle: Optional[Any] = None
+        #: fleet-scope chaos/breaker events, in simulated-time order
+        self.events: list[dict] = []
+        self._fired_losses = 0
+        self.metrics: MetricsRegistry = metrics or MetricsRegistry()
+        self._metric_families()
+        self._pump = MetricsPump(self.sim, self._fold_metric,
+                                 sample_gauges=self._sample_gauges)
+        self._apply_stall_windows()
+
+    @property
+    def servers(self) -> list[FleetServer]:
+        return list(self._servers)
+
+    def server(self, name: str) -> FleetServer:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown server {name!r}; fleet has {sorted(self._by_name)}"
+            ) from None
+
+    # -- metrics -----------------------------------------------------------
+
+    def _metric_families(self) -> None:
+        registry = self.metrics
+        self._m_dispatches = registry.counter(
+            "repro_fleet_dispatches_total",
+            "Shard-query dispatches routed to each backend",
+            labels=("server",),
+        )
+        self._m_failovers = registry.counter(
+            "repro_fleet_failovers_total",
+            "Failed hops re-dispatched to another replica, by typed outcome",
+            labels=("outcome",),
+        )
+        self._m_hedges = registry.counter(
+            "repro_fleet_hedges_total",
+            "Hedged dispatches by result (win: the hedge answered first)",
+            labels=("result",),
+        )
+        self._m_queries = registry.counter(
+            "repro_fleet_queries_total",
+            "Fleet queries reaching a terminal status",
+            labels=("status",),
+        )
+        self._m_losses = registry.counter(
+            "repro_fleet_server_losses_total",
+            "Whole-server losses injected by the chaos tier",
+        )
+        self._m_breaker = registry.gauge(
+            "repro_fleet_breaker_state",
+            "Per-backend circuit breaker state "
+            "(0=closed, 1=half-open, 2=open)",
+            labels=("server",),
+        )
+
+    def _fold_metric(self, kind: str, fields: dict) -> None:
+        if kind == "dispatch":
+            self._m_dispatches.inc(server=fields["server"])
+        elif kind == "failover":
+            self._m_failovers.inc(outcome=fields["outcome"])
+        elif kind == "hedge":
+            self._m_hedges.inc(result=fields["result"])
+        elif kind == "query":
+            self._m_queries.inc(status=fields["status"])
+        elif kind == "server_loss":
+            self._m_losses.inc()
+
+    def _sample_gauges(self) -> None:
+        for fs in self._servers:
+            self._m_breaker.set(BREAKER_STATE_VALUES[fs.breaker.state], server=fs.name)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the fleet metrics surface."""
+        return self.metrics.render_text()
+
+    # -- data plane --------------------------------------------------------
+
+    def load_tables(
+        self,
+        tables: "Sequence[Table] | dict[str, Table]",
+        fact: Optional[str] = None,
+        logical_scales: Optional[dict[str, float]] = None,
+    ) -> None:
+        """Register the dataset on every backend.
+
+        The ``fact`` table is range-sharded: backend ``b`` registers only
+        the rows of shard ``b % num_shards`` (sliced columns share the
+        original string dictionaries, so decoded results stay
+        byte-identical to the full table).  Every other table — the SSB
+        dimensions — is replicated in full on every backend.  ``tables``
+        accepts the dict :func:`~repro.ssb.generate_ssb` returns.
+        """
+        if isinstance(tables, dict):
+            tables = list(tables.values())
+        if fact is not None and fact not in {t.name for t in tables}:
+            raise ValueError(
+                f"fact table {fact!r} not among "
+                f"{sorted(t.name for t in tables)}"
+            )
+        self._fact = fact
+        for fs in self._servers:
+            for table in tables:
+                if fact is not None and table.name == fact:
+                    fs.server.register(self._shard_table(table, fs.shard))
+                else:
+                    fs.server.register(table)
+            for name, scale in (logical_scales or {}).items():
+                fs.server.catalog.set_logical_scale(name, scale)
+
+    def _shard_table(self, table: Table, shard: int) -> Table:
+        lo, hi = self.shard_map.row_range(shard, table.num_rows)
+        columns = [
+            # the slice keeps the ORIGINAL StringDictionary: codes and
+            # decoded strings match the unsharded table exactly
+            Column(c.name, c.dtype, c.values[lo:hi], dictionary=c.dictionary)
+            for c in table.columns.values()
+        ]
+        return Table(table.name, columns)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self, plan: Plan, config: ExecutionConfig, name: Optional[str] = None
+    ) -> FleetQuery:
+        """Queue one query for the next :meth:`run` drive."""
+        query = FleetQuery(
+            query_id=self._next_id,
+            name=name or f"fq{self._next_id}",
+            plan=plan,
+            config=config,
+            submit_time=self.sim.now,
+        )
+        self._next_id += 1
+        self._queries.append(query)
+        return query
+
+    def submit_batch(
+        self,
+        items: Sequence[tuple[Plan, ExecutionConfig]],
+        names: Optional[Sequence[str]] = None,
+    ) -> list[FleetQuery]:
+        return [
+            self.submit(plan, config, name=names[i] if names else None)
+            for i, (plan, config) in enumerate(items)
+        ]
+
+    # -- chaos arming ------------------------------------------------------
+
+    def _apply_stall_windows(self) -> None:
+        if self.fault_plan is None:
+            return
+        for fault in self.fault_plan.server_stalls:
+            fs = self.server(fault.server_id)
+            window = (fault.at_seconds, fault.at_seconds + fault.duration_seconds)
+            fs.stall_windows = (*fs.stall_windows, window)
+            self.events.append(
+                {
+                    "kind": "server_stall",
+                    "server": fs.name,
+                    "at": window[0],
+                    "until": window[1],
+                }
+            )
+
+    def _arm(self) -> None:
+        """Spawn the server-loss processes (idempotent, validated)."""
+        if self._armed or self.fault_plan is None:
+            return
+        self._armed = True
+        for fault in self.fault_plan.server_losses:
+            self.server(fault.server_id)  # raise early on unknown names
+            self.sim.process(
+                self._loss_proc(fault), name=f"fleet-loss:{fault.server_id}"
+            )
+
+    def _loss_proc(self, fault):
+        yield self.sim.timeout(fault.at_seconds)
+        fs = self.server(fault.server_id)
+        if not fs.alive:
+            return
+        fs.alive = False
+        # latch the breaker: a dead backend is never probed back in
+        fs.breaker.force_open()
+        self._fired_losses += 1
+        self._pump.emit("server_loss")
+        self.events.append(
+            {"kind": "server_loss", "server": fs.name, "at": self.sim.now}
+        )
+        # every in-flight session dies with the server, typed; the
+        # drivers' finally blocks release budgets and staging credits
+        for session in list(fs.server.sessions):
+            if not session.finished:
+                fs.server.cancel(
+                    session,
+                    ServerLostError(f"server {fs.name} lost at t={self.sim.now:.6f}s"),
+                )
+
+    # -- health probes -----------------------------------------------------
+
+    def _probe_proc(self):
+        """Periodic health probe: drives breaker recovery.
+
+        Runs while any fleet query is outstanding (so a drained drive
+        terminates); each tick probes every backend.  A probe into a
+        stall window fails — consecutive failures open the breaker —
+        and the first probe after the window runs the half-open trial
+        that closes it again.
+        """
+        while any(q.status == "pending" for q in self._queries):
+            yield self.sim.timeout(self.probe_interval_seconds)
+            for fs in self._servers:
+                self._probe(fs)
+
+    def _probe(self, fs: FleetServer) -> None:
+        if not fs.alive:
+            return  # latched open; nothing to learn from a dead backend
+        if fs.stalled(self.sim.now):
+            state_before = fs.breaker.state
+            fs.breaker.record_failure()
+            if state_before != "open" and fs.breaker.state == "open":
+                self.events.append(
+                    {"kind": "breaker_open", "server": fs.name, "at": self.sim.now}
+                )
+        else:
+            state_before = fs.breaker.state
+            fs.breaker.record_success()
+            if state_before != "closed" and fs.breaker.state == "closed":
+                self.events.append(
+                    {"kind": "breaker_closed", "server": fs.name, "at": self.sim.now}
+                )
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(
+        self, shard: Optional[int], exclude: frozenset[int] | set[int] = frozenset()
+    ) -> Optional[FleetServer]:
+        """Pick the replica for one dispatch, or None when nothing is up.
+
+        Locality first (only replicas of the shard are candidates; a
+        ``None`` shard — a dimension-only query — may go anywhere), then
+        breaker-allowed backends, then least in-flight load, then lowest
+        index for determinism.  When EVERY candidate's breaker refuses,
+        the least-loaded candidate is tried anyway — with all breakers
+        open, refusing to dispatch would fail queries a half-open trial
+        might still serve.
+        """
+        if shard is None:
+            candidates = self._servers
+        else:
+            candidates = [self._servers[b] for b in self.shard_map.replicas(shard)]
+        candidates = [fs for fs in candidates if fs.alive and fs.index not in exclude]
+        if not candidates:
+            return None
+        allowed = [fs for fs in candidates if fs.breaker.allow()]
+        pool = allowed or candidates
+        return min(pool, key=lambda fs: (fs.inflight, fs.index))
+
+    def _shards_for(self, plan: Plan) -> list[Optional[int]]:
+        """Shard fan-out of one plan: every shard when the fact table is
+        scanned (any shard's rows may qualify), else a single routed
+        dispatch (``None`` = any backend; dimensions are replicated)."""
+        if self._fact is None or self.shard_map.num_shards == 1:
+            return [None]
+        tables = {scan.table for scan in plan.scans()}
+        if self._fact in tables:
+            return list(range(self.shard_map.num_shards))
+        return [None]
+
+    @staticmethod
+    def _scatter_plan(plan: Plan) -> Plan:
+        """The per-shard plan: ORDER BY / LIMIT are deferred to the
+        fleet merge for aggregating plans — a per-shard LIMIT over
+        *partial* aggregates could drop a group whose merged value
+        belongs in the global top-k.  Un-aggregated plans keep both
+        (per-shard top-k then merged top-k is exact under range
+        sharding)."""
+        if isinstance(plan.root, (LogicalReduce, LogicalGroupBy)) and (
+            plan.order or plan.limit is not None
+        ):
+            return Plan(plan.root)
+        return plan
+
+    # -- the drive ---------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Drive every submitted fleet query to a typed terminal status."""
+        for fs in self._servers:
+            fs.server.start()
+        self._pump.ensure_running()
+        self._arm()
+        fresh = [
+            q for q in self._queries
+            if q.status == "pending" and q.query_id not in self._spawned
+        ]
+        for query in fresh:
+            self._spawned.add(query.query_id)
+            self.sim.process(self._query_proc(query), name=f"fleet:{query.name}")
+        if fresh and (
+            self._probe_proc_handle is None or self._probe_proc_handle.triggered
+        ):
+            self._probe_proc_handle = self.sim.process(
+                self._probe_proc(), name="fleet-probes"
+            )
+        self.sim.run()
+        problems: list[str] = []
+        reports: dict[str, BatchReport] = {}
+        for fs in self._servers:
+            try:
+                reports[fs.name] = fs.server.finish_drive()
+            except SchedulerError as error:
+                # a backend's drive stalled (e.g. it died holding work);
+                # its cleanup ran — keep the report and carry on
+                problems.append(f"{fs.name}: {error}")
+                reports[fs.name] = fs.server.last_report
+        if problems:
+            # stall cleanup triggered done events; let parked fleet
+            # coordinators observe them before we audit terminal states
+            self.sim.run()
+        for query in self._queries:
+            if query.status == "pending" and query.query_id in self._spawned:
+                query.status = "failed"
+                query.error = SchedulerError(
+                    f"fleet query {query.name} never reached a terminal "
+                    f"state: {'; '.join(problems) or 'coordinator stalled'}"
+                )
+                query.error_class = "fatal"
+                query.finish_time = self.sim.now
+                self._pump.emit("query", status="failed")
+        self._pump.drain()
+        return self._report(reports)
+
+    def _query_proc(self, query: FleetQuery):
+        """Coordinator: scatter per shard, gather, merge, finalize."""
+        shards = self._shards_for(query.plan)
+        results: dict[Optional[int], Any] = {}
+        procs = [
+            self.sim.process(
+                self._shard_proc(query, shard, results),
+                name=f"fleet:{query.name}:s{shard}",
+            )
+            for shard in shards
+        ]
+        yield self.sim.all_of(procs)
+        failure = next(
+            (
+                results[shard]
+                for shard in shards
+                if isinstance(results.get(shard), BaseException)
+            ),
+            None,
+        )
+        if failure is not None:
+            query.status = "failed"
+            query.error = failure
+            query.error_class = (
+                "fleet_exhausted"
+                if isinstance(failure, FleetExhaustedError)
+                else classify_failure(failure)[0]
+            )
+        else:
+            query.shard_results = {shard: results[shard] for shard in shards}
+            query.result = self._merge(query, shards, results)
+            query.status = "done"
+        query.finish_time = self.sim.now
+        self._pump.emit("query", status=query.status)
+
+    def _shard_proc(self, query: FleetQuery, shard: Optional[int], results: dict):
+        """One shard's bounded failover loop.
+
+        Never raises: the terminal value — a shard QueryResult or a
+        typed error — lands in ``results[shard]`` so the gather barrier
+        (an AllOf over sibling shards) cannot be torn down by one
+        shard's failure while the others still hold sessions.
+        """
+        chain = FallbackChain(
+            shard if shard is not None else "any",
+            self.failover.max_attempts,
+            self._clock,
+        )
+        query.chains[shard] = chain
+        tried: set[int] = set()
+        while True:
+            fs = self._route(shard, tried)
+            if fs is None and tried:
+                # every replica has been tried this campaign; a later
+                # hop may still land on a recovered server
+                tried = set()
+                fs = self._route(shard, tried)
+            if fs is None or chain.exhausted:
+                results[shard] = chain.exhaust()
+                return
+            if chain.attempts and self.failover.backoff_seconds:
+                yield self.sim.timeout(
+                    self.failover.backoff_seconds * len(chain.attempts)
+                )
+            outcome, payload = yield from self._run_attempt(
+                query, shard, chain, fs, tried
+            )
+            if outcome == "ok":
+                results[shard] = payload
+                return
+            if outcome not in FAILOVER_CLASSES:
+                # fatal on this replica means fatal on every replica
+                # (identical plans, identical budgets): do not multiply
+                # the damage by re-dispatching
+                results[shard] = (
+                    payload if isinstance(payload, BaseException)
+                    else chain.exhaust()
+                )
+                return
+            query.failovers += 1
+            self._pump.emit("failover", outcome=outcome)
+            tried.add(fs.index)
+
+    def _open_hop(self, chain: FallbackChain, fs: FleetServer) -> int:
+        fs.inflight += 1
+        fs.dispatches += 1
+        self._pump.emit("dispatch", server=fs.name)
+        return chain.begin_attempt(fs.name)
+
+    def _submit_to(
+        self, fs: FleetServer, query: FleetQuery, shard: Optional[int]
+    ) -> tuple[Optional[QuerySession], Optional[BaseException]]:
+        plan = query.plan if shard is None else self._scatter_plan(query.plan)
+        where = "" if shard is None else f"/s{shard}"
+        try:
+            session = fs.server.submit(
+                plan, query.config, name=f"{query.name}{where}@{fs.name}"
+            )
+        except AdmissionError as error:
+            return None, error
+        return session, None
+
+    def _run_attempt(
+        self,
+        query: FleetQuery,
+        shard: Optional[int],
+        chain: FallbackChain,
+        fs: FleetServer,
+        tried: set[int],
+    ):
+        """One hop — plus its watchdog and optional hedge.
+
+        Yields simulated waits; returns ``(outcome, payload)`` where the
+        payload is the shard QueryResult on ``"ok"`` and the typed
+        exception (or None) otherwise.  Every hop opened here is
+        resolved here, on every path — the RP007 contract.
+        """
+        policy = self.failover
+        start = self.sim.now
+        deadline = (
+            start + policy.dispatch_timeout_seconds
+            if policy.dispatch_timeout_seconds is not None
+            else None
+        )
+        hedge_at = (
+            start + policy.hedge_delay_seconds
+            if policy.hedge_delay_seconds is not None
+            else None
+        )
+        # entries: one dict per dispatched (or partition-parked) hop
+        entries: list[dict] = [self._launch(query, shard, chain, fs, "primary")]
+        failures: list[tuple[str, Optional[BaseException]]] = []
+        while True:
+            # 1. reap finished sessions (winner first, then failures)
+            done = [
+                e for e in entries if e["session"] is not None and e["session"].finished
+            ]
+            winner = next((e for e in done if e["session"].status == "done"), None)
+            if winner is not None:
+                session = winner["session"]
+                chain.resolve(winner["hop"], "ok")
+                winner["fs"].breaker.record_success()
+                winner["fs"].inflight -= 1
+                if winner["kind"] == "hedge":
+                    query.hedge_wins += 1
+                    self._pump.emit("hedge", result="win")
+                for loser in entries:
+                    if loser is winner:
+                        continue
+                    if loser["session"] is not None and not loser["session"].finished:
+                        # first response wins: cancelling runs the
+                        # loser's driver finally, which conserves its
+                        # budget and staging credits
+                        loser["fs"].server.cancel(
+                            loser["session"], "hedged: first response won"
+                        )
+                    chain.resolve(loser["hop"], "hedge_loser")
+                    loser["fs"].inflight -= 1
+                    if loser["kind"] == "hedge":
+                        self._pump.emit("hedge", result="loss")
+                return "ok", session.result
+            for entry in done:
+                session = entry["session"]
+                outcome = session.error_class or (
+                    "shed" if session.status == "shed" else "fatal"
+                )
+                chain.resolve(entry["hop"], outcome)
+                entry["fs"].inflight -= 1
+                if outcome in _BREAKER_CLASSES:
+                    entry["fs"].breaker.record_failure()
+                if entry["kind"] == "hedge":
+                    self._pump.emit("hedge", result="loss")
+                failures.append((outcome, session.error))
+                entries.remove(entry)
+            if not entries:
+                # every dispatch of this hop failed; the primary's
+                # outcome steers the failover loop
+                return failures[0]
+            now = self.sim.now
+            # 2. watchdog: cancel whatever is still unresolved, typed
+            if deadline is not None and now >= deadline - 1e-12:
+                for entry in entries:
+                    cause = ServerStallTimeout(
+                        f"dispatch to {entry['fs'].name} unresolved after "
+                        f"{policy.dispatch_timeout_seconds:g}s"
+                    )
+                    if entry["session"] is not None:
+                        entry["fs"].server.cancel(entry["session"], cause)
+                    else:
+                        # the dispatch is parked inside the partition:
+                        # it never reached the backend, so there is
+                        # nothing to cancel — fail the hop directly
+                        chain.resolve(entry["hop"], "stall_timeout")
+                        entry["fs"].inflight -= 1
+                        entry["fs"].breaker.record_failure()
+                        if entry["kind"] == "hedge":
+                            self._pump.emit("hedge", result="loss")
+                        failures.append(("stall_timeout", cause))
+                live = [e for e in entries if e["session"] is not None]
+                entries = live
+                deadline = None
+                if not entries:
+                    return failures[0]
+                # let the cancelled drivers unwind (their finally
+                # blocks run at the current instant) before reaping
+                yield self.sim.all_of([e["session"].done for e in entries])
+                continue
+            # 3. submit partition-parked dispatches whose window lifted
+            activated = False
+            for entry in entries:
+                if entry["session"] is None and now >= entry["ready_at"] - 1e-12:
+                    self._activate_entry(query, shard, entry)
+                    activated = True
+            if activated:
+                continue  # reap immediately (the submit may have failed)
+            # 4. hedge: one extra dispatch on the next replica
+            if hedge_at is not None and now >= hedge_at - 1e-12:
+                hedge_at = None
+                exclude = tried | {e["fs"].index for e in entries}
+                hfs = self._route(shard, exclude)
+                if hfs is not None and not chain.exhausted:
+                    entries.append(self._launch(query, shard, chain, hfs, "hedge"))
+                    continue  # reap immediately (the hedge may be shed)
+            # 5. park until the next signal
+            waits = [e["session"].done for e in entries if e["session"] is not None]
+            horizons = [e["ready_at"] for e in entries if e["session"] is None]
+            if deadline is not None:
+                horizons.append(deadline)
+            if hedge_at is not None:
+                horizons.append(hedge_at)
+            if horizons:
+                waits.append(self.sim.timeout(max(0.0, min(horizons) - now)))
+            yield self.sim.any_of(waits)
+
+    def _launch(
+        self,
+        query: FleetQuery,
+        shard: Optional[int],
+        chain: FallbackChain,
+        fs: FleetServer,
+        kind: str,
+    ) -> dict:
+        """Open a hop on ``fs`` and submit — or park on its partition."""
+        entry: dict = {
+            "hop": self._open_hop(chain, fs),
+            "fs": fs,
+            "session": None,
+            "kind": kind,
+            "ready_at": self.sim.now,
+        }
+        stall_end = fs.stall_end(self.sim.now)
+        if stall_end is not None:
+            # control-plane partition: the dispatch hangs at the fleet
+            # edge until the window lifts (or the watchdog kills it)
+            entry["ready_at"] = stall_end
+            return entry
+        self._activate_entry(query, shard, entry)
+        return entry
+
+    def _activate_entry(
+        self, query: FleetQuery, shard: Optional[int], entry: dict
+    ) -> None:
+        """Submit a hop's session.  An edge refusal (AdmissionError: the
+        demand can never fit, identically on every replica) becomes an
+        already-terminal stand-in session, so the reap loop resolves the
+        hop through the one shared path."""
+        session, error = self._submit_to(entry["fs"], query, shard)
+        if session is None:
+            entry["session"] = _FailedEdge(classify_failure(error)[0], error)
+            return
+        entry["session"] = session
+
+    # -- gather + merge ----------------------------------------------------
+
+    def _merge(
+        self,
+        query: FleetQuery,
+        shards: Sequence[Optional[int]],
+        results: dict,
+    ) -> QueryResult:
+        if len(shards) == 1:
+            return results[shards[0]]
+        parts = [results[shard] for shard in shards]  # shard order
+        root = query.plan.root
+        shape = _ResultShape(query.plan.order, query.plan.limit)
+        if isinstance(root, LogicalReduce):
+            return self._merge_scalar(root.aggs, parts, shape)
+        if isinstance(root, LogicalGroupBy):
+            return self._merge_groups(root.keys, root.aggs, parts, shape)
+        return self._merge_rows(parts, shape)
+
+    @staticmethod
+    def _merge_scalar(aggs, parts, shape: _ResultShape) -> QueryResult:
+        merged: dict[str, Any] = {}
+        for agg in aggs:
+            value = agg_identity(agg.kind)
+            for part in parts:
+                partial = part.scalar[agg.alias]
+                if partial is None:
+                    continue  # empty-shard min/max, already finalized
+                value = merge_agg(agg.kind, value, partial)
+            if agg.kind == "count":
+                value = int(value)
+            elif value in (math.inf, -math.inf):
+                value = None  # min/max over empty input on every shard
+            merged[agg.alias] = value
+        columns = [agg.alias for agg in aggs]
+        rows = [tuple(merged[c] for c in columns)]
+        return QueryResult(
+            columns=columns, rows=rows, profile=parts[0].profile, scalar=merged
+        )
+
+    @staticmethod
+    def _merge_groups(keys, aggs, parts, shape: _ResultShape) -> QueryResult:
+        width = len(keys)
+        columns = list(parts[0].columns)
+        merged: dict[tuple, list] = {}
+        for part in parts:
+            for row in part.rows:
+                key = row[:width]
+                values = merged.get(key)
+                if values is None:
+                    merged[key] = list(row[width:])
+                else:
+                    for i, agg in enumerate(aggs):
+                        values[i] = merge_agg(agg.kind, values[i], row[width + i])
+        rows = [key + tuple(values) for key, values in merged.items()]
+        rows = order_rows(rows, columns, shape)
+        return QueryResult(columns=columns, rows=rows, profile=parts[0].profile)
+
+    @staticmethod
+    def _merge_rows(parts, shape: _ResultShape) -> QueryResult:
+        columns = next((list(p.columns) for p in parts if p.columns), [])
+        rows = [row for part in parts for row in part.rows]
+        rows = order_rows(rows, columns, shape)
+        return QueryResult(columns=columns, rows=rows, profile=parts[0].profile)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, reports: dict[str, BatchReport]) -> FleetReport:
+        finished = [
+            q for q in self._queries
+            if q.finished and q.query_id not in self._reported
+        ]
+        self._reported.update(q.query_id for q in finished)
+        if finished:
+            first = min(q.submit_time for q in finished)
+            last = max(q.finish_time for q in finished)
+            makespan = last - first
+        else:
+            makespan = 0.0
+        failovers: dict[str, int] = {}
+        for query in finished:
+            for chain in query.chains.values():
+                for attempt in chain.attempts:
+                    if attempt.outcome in ("ok", "hedge_loser"):
+                        continue
+                    failovers[attempt.outcome] = failovers.get(attempt.outcome, 0) + 1
+        return FleetReport(
+            queries=finished,
+            makespan=makespan,
+            server_reports=reports,
+            dispatches={fs.name: fs.dispatches for fs in self._servers},
+            failovers_by_outcome=failovers,
+            hedge_wins=sum(q.hedge_wins for q in finished),
+            server_losses=self._fired_losses,
+            breaker_states={fs.name: fs.breaker.state for fs in self._servers},
+            lost_servers=[fs.name for fs in self._servers if not fs.alive],
+            events=list(self.events),
+            metrics=self.metrics.snapshot(),
+        )
+
+    def check_conservation(self) -> dict[str, dict[str, float]]:
+        """Per-backend conservation audit (budgets, state, staging)."""
+        return {fs.name: fs.server.check_conservation() for fs in self._servers}
+
+
+class _FailedEdge:
+    """Session stand-in for a dispatch refused at the submission edge:
+    already terminal and typed like the refusal, so the dispatcher's
+    reap loop resolves its hop exactly like a real failed session."""
+
+    def __init__(self, outcome: str, error: Optional[BaseException]):
+        self.status = "failed"
+        self.error = error
+        self.error_class = outcome
+        self.finished = True
+        self.result = None

@@ -74,8 +74,12 @@ class Proteus:
         pipeline_cache_capacity: Optional[int] = _UNSET,  # default: 128
         cache_policy: Optional[CachePolicy] = None,
         shared_cache: Optional[SharedCacheDirectory] = None,
+        sim: Optional[Simulator] = None,
     ):
-        self.sim = Simulator()
+        # an externally supplied simulator puts several engines on one
+        # clock (the fleet's backends all advance together); by default
+        # each engine owns a private one
+        self.sim = sim if sim is not None else Simulator()
         self.server = Server(self.sim, spec or ServerSpec())
         self.catalog = Catalog(self.server, segment_rows=segment_rows)
         self.blocks = BlockManagerSet(self.server)

@@ -94,7 +94,7 @@ from typing import Any, Optional, Sequence
 from ..algebra.logical import Plan
 from ..algebra.physical import HetPlan, OpBuildSink
 from ..hardware.costmodel import DEFAULT_COMPILE_SECONDS, QueryDemand
-from ..hardware.sim import Event
+from ..hardware.sim import Event, Interrupt
 from ..hardware.topology import DeviceType, Server
 from ..storage.table import Placement, Table
 from .config import ElasticPolicy, ExecutionConfig, MetricsPolicy, QoS
@@ -804,6 +804,10 @@ class BatchReport:
                     f"done={record['done']}",
                     f"shed={record['shed']}",
                 ]
+                if record.get("retry_after") is not None:
+                    # the rate limiter's back-off hint: what a client of
+                    # this tenant should sleep before resubmitting
+                    parts.append(f"retry-after<={record['retry_after']:.4f}s")
                 tail = record.get("latency")
                 if tail is not None:
                     parts.append(f"p99={tail['p99']:.4f}s")
@@ -1488,11 +1492,25 @@ class EngineServer:
         remains available as :attr:`last_report` so an aborted drive
         never skews the next one's makespan or throughput.
         """
+        self.start()
+        self.sim.run()
+        return self.finish_drive()
+
+    def start(self) -> None:
+        """Arm the serving processes without driving the simulator.
+
+        Idempotent.  An external owner of the shared clock (the fleet)
+        calls this on every backend, runs the one simulator itself, and
+        closes each drive with :meth:`finish_drive`; :meth:`run` is the
+        single-server composition of the three.
+        """
         self._ensure_admission()
         self._pump.ensure_running()
         if self.faults is not None:
             self.faults.arm()
-        self.sim.run()
+
+    def finish_drive(self) -> BatchReport:
+        """Close out a drive after the shared simulator has drained."""
         try:
             self._check_stalled()
         finally:
@@ -1965,7 +1983,16 @@ class EngineServer:
                         break
                     session.retried_classes.append(label)
                     self._pump.emit("retry", failure_class=label)
-                    yield from self._requeue_for_retry(session, retry)
+                    try:
+                        yield from self._requeue_for_retry(session, retry)
+                    except Interrupt as interrupt:
+                        # cancelled while parked on backoff/readmission
+                        # (e.g. the fleet lost this server): terminal,
+                        # typed from the interrupt's cause
+                        session.status = "failed"
+                        session.error = interrupt
+                        session.error_class = classify_failure(interrupt)[0]
+                        break
         finally:
             session.preempt_requested = False
             self._drivers.pop(session.query_id, None)
@@ -2062,6 +2089,52 @@ class EngineServer:
         self._pending.append(session)
         self._wake_admission()
         yield session.readmit_event
+
+    def cancel(self, session: QuerySession, cause: Any) -> bool:
+        """Cancel one session with a typed cause (the fleet's lever).
+
+        A session with a live driver — running, paused at a checkpoint,
+        or parked on a retry's readmit event — is interrupted with
+        ``cause``; the driver's ``finally`` then runs the one true
+        cleanup path (budget release, executor state teardown via
+        ``abort_outstanding``, done event), and
+        :func:`~repro.engine.faults.classify_failure` types the terminal
+        status from the cause.  A still-queued session is failed at the
+        edge, holding nothing.  Returns False if the session already
+        reached a terminal state (cancellation raced completion).
+        """
+        if session.finished:
+            return False
+        if session in self._pending:
+            # remove first: a driver interrupted while parked on its
+            # readmit event must not leave a finished session in the
+            # admission queue
+            self._pending.remove(session)
+        proc = self._driver_procs.get(session.query_id)
+        if proc is not None and proc.is_alive:
+            proc.interrupt(cause)
+            return True
+        error = (
+            cause
+            if isinstance(cause, BaseException)
+            else SchedulerError(f"cancelled: {cause}")
+        )
+        session.status = "failed"
+        session.error = error
+        session.error_class = classify_failure(error)[0]
+        session.finish_time = self.sim.now
+        self._pump.emit(
+            "session",
+            tenant=self._tenant_label(session.tenant),
+            qos_class=session.label,
+            status="failed",
+            latency=None,
+            queue_wait=None,
+        )
+        if session.done is not None and not session.done.triggered:
+            session.done.trigger(session)
+        self._wake_admission()
+        return True
 
     def _abort_victim(self, target: Optional[str], reason: str) -> Optional[str]:
         """Deliver a spurious abort to one running session's driver.
@@ -2206,6 +2279,17 @@ class EngineServer:
                 ),
                 "shed_queue_full": sum(
                     1 for s in sessions if s.shed_reason == "queue_full"
+                ),
+                # the most conservative back-off hint handed out with a
+                # rate-limited shed this drive (None: no such shed)
+                "retry_after": max(
+                    (
+                        s.retry_after
+                        for s in sessions
+                        if s.shed_reason == "rate_limited"
+                        and s.retry_after is not None
+                    ),
+                    default=None,
                 ),
                 "preemptions": sum(s.preemptions for s in sessions),
                 "retries": sum(s.retries for s in sessions),

@@ -52,9 +52,11 @@ def by_rule(result, rule_id):
     return [f for f in result.findings if f.rule_id == rule_id]
 
 
-def test_registry_exposes_all_six_rules():
+def test_registry_exposes_all_seven_rules():
     ids = [checker.rule_id for checker in all_checkers()]
-    assert ids == ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+    assert ids == [
+        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
+    ]
 
 
 def test_unparsable_file_reports_rp000(tmp_path):
@@ -466,6 +468,111 @@ class TestRP006ConfigHygiene:
         assert by_rule(scan(root), "RP006") == []
 
 
+class TestRP007FailoverDiscipline:
+    def test_discarded_hop_handle_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def dispatch(chain, replica):
+                    chain.begin_attempt(replica)
+                    chain.resolve(0, "ok")
+                    chain.resolve(0, "server_lost")
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP007")
+        assert len(found) == 1
+        assert "discarded" in found[0].message
+        assert found[0].line == 2
+
+    def test_local_hop_without_failure_path_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def dispatch(chain, server, plan):
+                    hop = chain.begin_attempt(server.name)
+                    result = server.run(plan)
+                    chain.resolve(hop, "ok")
+                    return result
+                """
+            },
+        )
+        found = by_rule(scan(root), "RP007")
+        assert len(found) == 1
+        assert "both paths" in found[0].message
+
+    def test_resolve_on_success_and_failure_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def dispatch(chain, server, plan):
+                    hop = chain.begin_attempt(server.name)
+                    try:
+                        result = server.run(plan)
+                    except RuntimeError as error:
+                        chain.resolve(hop, "server_lost")
+                        raise error
+                    chain.resolve(hop, "ok")
+                    return result
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP007") == []
+
+    def test_resolve_in_finally_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def dispatch(chain, server, plan):
+                    hop = chain.begin_attempt(server.name)
+                    outcome = "server_lost"
+                    try:
+                        result = server.run(plan)
+                        outcome = "ok"
+                        return result
+                    finally:
+                        chain.resolve(hop, outcome)
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP007") == []
+
+    def test_escaped_hop_handle_is_the_callers_problem(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                ENGINE: """\
+                def open_hop(chain, server):
+                    server.inflight += 1
+                    return chain.begin_attempt(server.name)
+
+                def store_hop(entry, chain, server):
+                    entry["hop"] = chain.begin_attempt(server.name)
+
+                def pass_hop(entries, chain, server):
+                    entries.append(make_entry(chain.begin_attempt(server.name)))
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP007") == []
+
+    def test_rule_scoped_to_engine_tree(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                BENCH: """\
+                def sloppy(chain, replica):
+                    chain.begin_attempt(replica)
+                """
+            },
+        )
+        assert by_rule(scan(root), "RP007") == []
+
+
 class TestSuppression:
     def test_targeted_noqa_suppresses_only_that_rule(self, tmp_path):
         root = project(
@@ -611,7 +718,7 @@ class TestCli:
         out = io.StringIO()
         assert main(["--list-rules"], out=out) == 0
         lines = out.getvalue().splitlines()
-        assert len(lines) == 6
+        assert len(lines) == 7
         assert lines[0].startswith("RP001")
 
 

@@ -28,10 +28,13 @@ from repro.algebra.physical import DeviceType
 from repro.algebra.placer import PlacementError
 from repro.core.mem_move import MemMove, TransferTimeout
 from repro.engine.executor import QueryError
+from repro.engine.failover import BreakerPolicy, CircuitBreaker
 from repro.engine.faults import (
     DeviceLossFault,
     FaultPlan,
     RetryPolicy,
+    ServerLostError,
+    ServerStallTimeout,
     SpuriousAbortFault,
     StragglerFault,
     classify_failure,
@@ -181,6 +184,141 @@ class TestClassifyFailure:
         error = RuntimeError("a")
         error.__context__ = error
         assert classify_failure(error) == ("fatal", False)
+
+    def test_server_level_errors_are_typed_not_retryable(self):
+        # not retryable at the single server: the fleet re-dispatches
+        # the shard query to another replica instead
+        assert classify_failure(ServerLostError("srv0 died")) == (
+            "server_lost", False,
+        )
+        assert classify_failure(ServerStallTimeout("srv1 hung")) == (
+            "stall_timeout", False,
+        )
+
+    def test_server_lost_through_interrupt_cause(self):
+        # the fleet cancels in-flight sessions with the typed error as
+        # the Interrupt cause — classification must see through it
+        interrupt = Interrupt(ServerLostError("srv0 lost mid-drive"))
+        assert classify_failure(interrupt) == ("server_lost", False)
+        interrupt = Interrupt(ServerStallTimeout("watchdog fired"))
+        assert classify_failure(interrupt) == ("stall_timeout", False)
+
+    def test_server_errors_through_wrapped_chains(self):
+        try:
+            try:
+                raise ServerLostError("srv2 lost")
+            except ServerLostError as root:
+                raise QueryError("driver torn down") from root
+        except QueryError as wrapped:
+            assert classify_failure(wrapped) == ("server_lost", False)
+        try:
+            try:
+                raise ServerStallTimeout("dispatch unresolved")
+            except ServerStallTimeout:
+                raise RuntimeError("cleanup tripped")  # implicit context
+        except RuntimeError as wrapped:
+            assert classify_failure(wrapped) == ("stall_timeout", False)
+
+
+# ---------------------------------------------------------------------------
+# Unit: the per-backend circuit breaker (clock injected, no simulator)
+# ---------------------------------------------------------------------------
+
+
+class _ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _breaker(threshold=2, open_seconds=0.01):
+    clock = _ManualClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(failure_threshold=threshold, open_seconds=open_seconds),
+        clock,
+    )
+    return breaker, clock
+
+
+class TestCircuitBreaker:
+    def test_opens_at_failure_threshold_only(self):
+        breaker, _ = _breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_half_opens_after_the_window(self):
+        breaker, clock = _breaker(open_seconds=0.01)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 0.0099
+        assert breaker.state == "open"
+        clock.now = 0.01
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = _breaker(open_seconds=0.01)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 0.02
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens_with_fresh_window(self):
+        breaker, clock = _breaker(open_seconds=0.01)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 0.02
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # the open window restarts from the re-open, not the first trip
+        clock.now = 0.025
+        assert breaker.state == "open"
+        clock.now = 0.03
+        assert breaker.state == "half_open"
+
+    def test_force_open_latches_forever(self):
+        breaker, clock = _breaker(open_seconds=0.01)
+        breaker.force_open()
+        clock.now = 10.0
+        assert breaker.state == "open"
+        breaker.record_success()
+        assert breaker.state == "open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_transition_log_is_timestamped(self):
+        breaker, clock = _breaker(threshold=1, open_seconds=0.01)
+        breaker.record_failure()
+        clock.now = 0.01
+        breaker.record_success()  # half-open trial succeeds
+        assert breaker.transitions == [
+            (0.0, "open"), (0.01, "half_open"), (0.01, "closed"),
+        ]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError, match="open_seconds"):
+            BreakerPolicy(open_seconds=0.0)
 
 
 # ---------------------------------------------------------------------------

@@ -39,8 +39,10 @@ def _server(tables, **kwargs) -> EngineServer:
 
 CPU4 = ExecutionConfig.cpu_only(4, block_tuples=4096)
 
-#: the stable exposition schema: every family the server registers,
-#: present from the first scrape onwards regardless of traffic
+#: the stable exposition schema across BOTH surfaces: every family a
+#: server registers plus the fleet dispatcher's families.  RP005 pins
+#: this set against the families actually registered in the tree — add
+#: to it only alongside the registering code.
 EXPECTED_FAMILIES = {
     "repro_sessions_total",
     "repro_query_latency_seconds",
@@ -55,7 +57,19 @@ EXPECTED_FAMILIES = {
     "repro_budget_in_use",
     "repro_tenant_budget_in_use",
     "repro_drives_total",
+    "repro_fleet_dispatches_total",
+    "repro_fleet_failovers_total",
+    "repro_fleet_hedges_total",
+    "repro_fleet_queries_total",
+    "repro_fleet_server_losses_total",
+    "repro_fleet_breaker_state",
 }
+
+#: the families owned by the fleet dispatcher's own registry
+FLEET_FAMILIES = {name for name in EXPECTED_FAMILIES if name.startswith("repro_fleet_")}
+
+#: the single-server exposition schema (what a server drive snapshots)
+SERVER_FAMILIES = EXPECTED_FAMILIES - FLEET_FAMILIES
 
 
 class TestCounter:
@@ -194,10 +208,10 @@ class TestServerMetricsSurface:
         server = _server(tables, tenants=[Tenant("acme")])
         server.submit(ssb_query("Q1.1"), CPU4, tenant="acme")
         first = server.run().metrics
-        assert set(first) == EXPECTED_FAMILIES
+        assert set(first) == SERVER_FAMILIES
         server.submit(ssb_query("Q2.1"), CPU4)
         second = server.run().metrics
-        assert set(second) == EXPECTED_FAMILIES
+        assert set(second) == SERVER_FAMILIES
         for name, family in second.items():
             assert family["type"] == first[name]["type"]
 
@@ -264,3 +278,19 @@ class TestServerMetricsSurface:
     def test_registry_shared_through_engine_facade(self, tables):
         server = _server(tables)
         assert server.metrics is server.engine.metrics
+
+
+class TestFleetMetricsSurface:
+    def test_fleet_schema_is_exact_from_construction(self):
+        from repro.engine.fleet import EngineFleet
+
+        fleet = EngineFleet(num_servers=2, replication=1)
+        snapshot = fleet.metrics.snapshot()
+        assert set(snapshot) == FLEET_FAMILIES
+        assert snapshot["repro_fleet_breaker_state"]["type"] == "gauge"
+        for name in FLEET_FAMILIES - {"repro_fleet_breaker_state"}:
+            assert snapshot[name]["type"] == "counter", name
+
+    def test_fleet_and_server_schemas_partition_the_pin(self):
+        assert FLEET_FAMILIES | SERVER_FAMILIES == EXPECTED_FAMILIES
+        assert not FLEET_FAMILIES & SERVER_FAMILIES
